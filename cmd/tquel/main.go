@@ -1,0 +1,151 @@
+// Command tquel is an interactive shell for the temporal DBMS, in the
+// spirit of Ingres's terminal monitor. Statements are buffered until a
+// terminator line and then executed:
+//
+//	tquel> create persistent interval emp (name = c20, salary = i4)
+//	tquel> \g
+//
+// Terminators and commands:
+//
+//	\g (or a blank line)  execute the buffered statements
+//	\p                    print the buffer
+//	\plan                 explain the buffered retrieve instead of running it
+//	\r                    reset the buffer
+//	\l                    list relations
+//	\now [time]           show or set the logical clock
+//	\advance <seconds>    advance the logical clock
+//	\cold                 invalidate buffers (next query runs cold)
+//	\q                    quit
+//
+// A file argument executes a TQuel script instead of reading stdin.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"tdbms/internal/core"
+	"tdbms/internal/temporal"
+	"tdbms/internal/tquel"
+)
+
+func main() {
+	db := core.MustOpen(core.Options{Now: temporal.FromUnix(time.Now().UTC())})
+
+	if len(os.Args) > 1 {
+		src, err := os.ReadFile(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tquel:", err)
+			os.Exit(1)
+		}
+		if err := runScript(db, string(src)); err != nil {
+			fmt.Fprintln(os.Stderr, "tquel:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Println("TQuel temporal DBMS shell. End statements with \\g or a blank line; \\q quits.")
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("tquel> ")
+		} else {
+			fmt.Print("    -> ")
+		}
+	}
+	run := func() {
+		src := strings.TrimSpace(buf.String())
+		buf.Reset()
+		if src == "" {
+			return
+		}
+		if err := runScript(db, src); err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+
+	for prompt(); in.Scan(); prompt() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case trimmed == `\q`:
+			return
+		case trimmed == `\g` || trimmed == "":
+			run()
+		case trimmed == `\p`:
+			fmt.Println(buf.String())
+		case trimmed == `\plan`:
+			plan, err := db.Explain(strings.TrimSpace(buf.String()))
+			buf.Reset()
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Print(plan)
+		case trimmed == `\r`:
+			buf.Reset()
+			fmt.Println("(buffer cleared)")
+		case trimmed == `\l`:
+			for _, r := range db.Catalog().List() {
+				pages, _ := db.NumPages(r)
+				fmt.Printf("  %-24s %6d pages\n", r, pages)
+			}
+		case trimmed == `\cold`:
+			if err := db.InvalidateBuffers(); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("(buffers invalidated)")
+			}
+		case strings.HasPrefix(trimmed, `\advance`):
+			arg := strings.TrimSpace(strings.TrimPrefix(trimmed, `\advance`))
+			secs, err := strconv.ParseInt(arg, 10, 64)
+			if err != nil {
+				fmt.Println("usage: \\advance <seconds>")
+				continue
+			}
+			db.Clock().Advance(secs)
+			fmt.Println("now:", temporal.Format(db.Clock().Now(), temporal.Second))
+		case strings.HasPrefix(trimmed, `\now`):
+			arg := strings.TrimSpace(strings.TrimPrefix(trimmed, `\now`))
+			if arg != "" {
+				t, err := temporal.Parse(arg, db.Clock().Now())
+				if err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+				db.Clock().Set(t)
+			}
+			fmt.Println("now:", temporal.Format(db.Clock().Now(), temporal.Second))
+		default:
+			buf.WriteString(line)
+			buf.WriteString("\n")
+		}
+	}
+	run()
+}
+
+// runScript executes statements one at a time, printing each result that
+// carries rows or a tuple count.
+func runScript(db *core.Database, src string) error {
+	stmts, err := tquel.ParseAll(src)
+	if err != nil {
+		return err
+	}
+	for _, s := range stmts {
+		res, err := db.ExecStmt(s)
+		if err != nil {
+			return err
+		}
+		if len(res.Cols) > 0 || res.Affected > 0 {
+			fmt.Println(res)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package tdbms_test
+
+import (
+	"fmt"
+	"time"
+
+	"tdbms"
+)
+
+// Example walks the four kinds of questions a temporal database answers:
+// current state, valid-time history, a version scan, and a rollback.
+func Example() {
+	db := tdbms.MustOpen(tdbms.Options{
+		Now: time.Date(1980, 1, 1, 9, 0, 0, 0, time.UTC),
+	})
+	exec := func(src string) *tdbms.Result {
+		res, err := db.Exec(src)
+		if err != nil {
+			panic(err)
+		}
+		return res
+	}
+
+	exec(`create persistent interval emp (name = c20, salary = i4)`)
+	exec(`range of e is emp`)
+	exec(`append to emp (name = "ann", salary = 100)`)
+
+	db.AdvanceClock(2 * time.Hour) // 11:00
+	exec(`replace e (salary = 130) where e.name = "ann"`)
+	db.AdvanceClock(2 * time.Hour) // 13:00
+
+	now := exec(`retrieve (e.salary) when e overlap "now"`)
+	fmt.Println("current salary:", now.Rows[0][0].Int())
+
+	past := exec(`retrieve (e.salary) when e overlap "10:00 1/1/80"`)
+	fmt.Println("salary at 10:00:", past.Rows[0][0].Int())
+
+	history := exec(`retrieve (e.salary) where e.name = "ann" sort by salary`)
+	fmt.Println("versions on record:", len(history.Rows))
+
+	believed := exec(`retrieve (e.salary) as of "10:00 1/1/80"`)
+	fmt.Println("salary the database showed at 10:00:", believed.Rows[0][0].Int())
+
+	// Output:
+	// current salary: 130
+	// salary at 10:00: 100
+	// versions on record: 2
+	// salary the database showed at 10:00: 100
+}
+
+// Example_aggregates shows grouped aggregates over a temporal qualification.
+func Example_aggregates() {
+	db := tdbms.MustOpen(tdbms.Options{
+		Now: time.Date(1980, 1, 1, 0, 0, 0, 0, time.UTC),
+	})
+	stmts := `
+		create persistent interval sal (emp = c8, dept = c8, amount = i4)
+		range of s is sal
+		append to sal (emp = "a", dept = "ops", amount = 10)
+		append to sal (emp = "b", dept = "ops", amount = 20)
+		append to sal (emp = "c", dept = "lab", amount = 40)
+	`
+	if _, err := db.Exec(stmts); err != nil {
+		panic(err)
+	}
+	res, err := db.Exec(`retrieve (d = s.dept, total = sum(s.amount by s.dept))
+		when s overlap "now" sort by d`)
+	if err != nil {
+		panic(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Printf("%s %d\n", row[0].Str(), row[1].Int())
+	}
+	// Output:
+	// lab 40
+	// ops 30
+}

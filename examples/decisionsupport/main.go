@@ -1,0 +1,109 @@
+// Decision support: historical queries and trend analysis.
+//
+// The paper's introduction notes that conventional DBMSs "cannot support
+// historical queries about the past status, much less trend analysis which
+// is essential for applications such as decision support systems". A
+// historical relation records valid time — when facts were true in the
+// modeled world — so the same relation answers "what is the price now?",
+// "what was it last quarter?", and "how did it move?".
+//
+// The scenario: a price list and a headcount table evolve over 1985; the
+// program reconstructs the state at a sequence of instants to print trends,
+// and joins the two histories with a `when ... overlap` temporal join.
+//
+// Run with: go run ./examples/decisionsupport
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tdbms"
+)
+
+func main() {
+	db := tdbms.MustOpen(tdbms.Options{Now: time.Date(1986, 1, 1, 0, 0, 0, 0, time.UTC)})
+	must := func(src string) *tdbms.Result {
+		res, err := db.Exec(src)
+		if err != nil {
+			log.Fatalf("%s:\n  %v", src, err)
+		}
+		return res
+	}
+
+	// `create interval` = a historical relation: valid time only. History
+	// is loaded explicitly with the valid clause — valid time is about the
+	// modeled world, not about when rows were typed in.
+	must(`create interval prices (sku = c8, price = i4)`)
+	must(`create interval headcount (dept = c8, staff = i4)`)
+	must(`range of p is prices
+	      range of h is headcount`)
+
+	load := []string{
+		`append to prices (sku = "widget", price = 40) valid from "1/1/85" to "4/1/85"`,
+		`append to prices (sku = "widget", price = 46) valid from "4/1/85" to "9/1/85"`,
+		`append to prices (sku = "widget", price = 52) valid from "9/1/85" to "forever"`,
+		`append to prices (sku = "gizmo", price = 99) valid from "2/1/85" to "7/1/85"`,
+		`append to prices (sku = "gizmo", price = 89) valid from "7/1/85" to "forever"`,
+		`append to headcount (dept = "sales", staff = 12) valid from "1/1/85" to "6/1/85"`,
+		`append to headcount (dept = "sales", staff = 17) valid from "6/1/85" to "forever"`,
+	}
+	for _, s := range load {
+		must(s)
+	}
+
+	// Trend analysis: reconstruct the state at a sequence of instants.
+	fmt.Println("Widget price by month, 1985:")
+	for m := time.January; m <= time.December; m += 3 {
+		at := fmt.Sprintf(`"%d/1/85"`, int(m))
+		res := must(`retrieve (p.price) where p.sku = "widget" when p overlap ` + at)
+		fmt.Printf("  %-10s %v\n", m, res.Rows[0][0])
+	}
+
+	// Historical join: which price regimes coexisted with which staffing
+	// levels? The temporal join pairs versions whose validity overlaps, and
+	// the default valid clause gives the intersection.
+	fmt.Println("\nWidget price regimes vs. sales staffing (temporal join):")
+	res := must(`retrieve (p.price, h.staff)
+	             where p.sku = "widget" and h.dept = "sales"
+	             when p overlap h`)
+	for _, r := range res.Rows {
+		fmt.Printf("  price %-4v staff %-4v during [%v .. %v)\n", r[0], r[1], r[2], r[3])
+	}
+
+	// Change detection: versions that ended in 1985 — each is a price
+	// change with its effective span.
+	fmt.Println("\nEvery widget price version (full history):")
+	res = must(`retrieve (p.price) where p.sku = "widget"`)
+	for _, r := range res.Rows {
+		fmt.Printf("  %-4v valid [%v .. %v)\n", r[0], r[1], r[2])
+	}
+
+	// Revenue-style arithmetic over a reconstructed instant: a snapshot of
+	// all prices on a chosen day, materialized into a new relation.
+	must(`retrieve into snapshot_sep (sku = p.sku, price = p.price)
+	      when p overlap "9/15/85"`)
+	must(`range of s is snapshot_sep`)
+	res = must(`retrieve (s.sku, s.price)`)
+	fmt.Println("\nPrice list as of Sep 15, 1985 (materialized with retrieve into):")
+	for _, r := range res.Rows {
+		fmt.Printf("  %-8v %v\n", r[0], r[1])
+	}
+
+	// Aggregates over reconstructed instants: the average catalog price at
+	// the start of each quarter — a one-line trend report.
+	fmt.Println("\nAverage catalog price by quarter (aggregate over each instant):")
+	for _, m := range []int{3, 6, 9, 12} {
+		at := fmt.Sprintf(`"%d/1/85"`, m)
+		res := must(`retrieve (mean = avg(p.price), n = count(p.sku)) when p overlap ` + at)
+		fmt.Printf("  Q%d: %v across %v products\n", (m+2)/3, res.Rows[0][0], res.Rows[0][1])
+	}
+
+	// Grouped aggregates: per-product version counts over the whole history.
+	fmt.Println("\nPrice changes per product (grouped aggregate over the full history):")
+	res = must(`retrieve (sku = p.sku, versions = count(p.price by p.sku)) sort by sku`)
+	for _, r := range res.Rows {
+		fmt.Printf("  %-8v %v versions\n", r[0], r[1])
+	}
+}

@@ -1,0 +1,3 @@
+module tdbms
+
+go 1.22

@@ -1,0 +1,97 @@
+// Package am defines the access-method interface shared by the heap, static
+// hash, and ISAM storage structures (packages heapfile, hashfile, isam),
+// plus the integer key descriptor they probe by.
+//
+// The prototype keeps Ingres's convention: a storage structure is chosen per
+// relation with `modify R to hash|isam|heap on attr where fillfactor = N`,
+// and every version of a tuple carries the same key, so overflow chains
+// grow with the update count (the effect Section 5.3 analyzes).
+package am
+
+import "tdbms/internal/page"
+
+// Key locates the integer key inside a fixed-width tuple. Width is 1, 2, or
+// 4 bytes, read as a signed little-endian integer (Quel i1/i2/i4).
+type Key struct {
+	Offset int
+	Width  int
+}
+
+// Extract reads the key value from a tuple.
+func (k Key) Extract(tup []byte) int64 {
+	b := tup[k.Offset:]
+	switch k.Width {
+	case 1:
+		return int64(int8(b[0]))
+	case 2:
+		return int64(int16(uint16(b[0]) | uint16(b[1])<<8))
+	case 4:
+		return int64(int32(uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24))
+	}
+	panic("am: unsupported key width")
+}
+
+// Iterator yields tuples one at a time. The returned tuple slice is a copy
+// and remains valid after further iteration.
+type Iterator interface {
+	// Next returns the next tuple and its address. ok is false at the end.
+	Next() (rid page.RID, tup []byte, ok bool, err error)
+}
+
+// File is the access-method interface the executor programs against.
+type File interface {
+	// Insert stores a tuple and returns its address. For keyed methods the
+	// tuple is placed according to its key.
+	Insert(tup []byte) (page.RID, error)
+	// Get returns a copy of the tuple at rid.
+	Get(rid page.RID) ([]byte, error)
+	// Update overwrites the tuple at rid in place.
+	Update(rid page.RID, tup []byte) error
+	// Delete frees the slot at rid.
+	Delete(rid page.RID) error
+	// Scan iterates over every tuple, including overflow pages. Directory
+	// pages (ISAM) are not touched, matching the cost model of Section 5.3.
+	Scan() Iterator
+	// Probe iterates over tuples whose key equals key. For a heap this
+	// degenerates to a filtered full scan.
+	Probe(key int64) Iterator
+	// ProbeRange iterates over tuples with lo <= key <= hi. Ordered
+	// methods (ISAM, B-tree) touch only the covering pages; unordered ones
+	// fall back to a filtered scan.
+	ProbeRange(lo, hi int64) Iterator
+	// Keyed reports whether Probe is cheaper than Scan (hash and ISAM).
+	Keyed() bool
+	// Ordered reports whether ProbeRange is cheaper than Scan.
+	Ordered() bool
+}
+
+// FilterRange wraps an iterator, passing through tuples whose key falls in
+// [lo, hi] — the range fallback for unordered storage.
+func FilterRange(it Iterator, key Key, lo, hi int64) Iterator {
+	return &rangeFilter{it: it, key: key, lo: lo, hi: hi}
+}
+
+type rangeFilter struct {
+	it     Iterator
+	key    Key
+	lo, hi int64
+}
+
+// Next implements Iterator.
+func (f *rangeFilter) Next() (page.RID, []byte, bool, error) {
+	for {
+		rid, tup, ok, err := f.it.Next()
+		if err != nil || !ok {
+			return rid, tup, ok, err
+		}
+		if k := f.key.Extract(tup); k >= f.lo && k <= f.hi {
+			return rid, tup, true, nil
+		}
+	}
+}
+
+// Empty is an Iterator that yields nothing.
+type Empty struct{}
+
+// Next implements Iterator.
+func (Empty) Next() (page.RID, []byte, bool, error) { return page.NilRID, nil, false, nil }

@@ -1,0 +1,102 @@
+package am
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tdbms/internal/page"
+)
+
+func TestKeyExtract(t *testing.T) {
+	tup := []byte{0xFF, 0x12, 0x34, 0x80, 0x7F, 0x00}
+	cases := []struct {
+		k    Key
+		want int64
+	}{
+		{Key{Offset: 0, Width: 1}, -1},
+		{Key{Offset: 1, Width: 1}, 0x12},
+		{Key{Offset: 1, Width: 2}, 0x3412},
+		{Key{Offset: 3, Width: 2}, 0x7F80},
+		{Key{Offset: 1, Width: 4}, 0x7F803412},
+	}
+	for _, c := range cases {
+		if got := c.k.Extract(tup); got != c.want {
+			t.Errorf("Key%+v.Extract = %#x, want %#x", c.k, got, c.want)
+		}
+	}
+}
+
+func TestKeyExtractSignExtension(t *testing.T) {
+	f := func(v int32, off uint8) bool {
+		o := int(off % 4)
+		tup := make([]byte, 8)
+		tup[o] = byte(v)
+		tup[o+1] = byte(v >> 8)
+		tup[o+2] = byte(v >> 16)
+		tup[o+3] = byte(v >> 24)
+		return Key{Offset: o, Width: 4}.Extract(tup) == int64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(v int16) bool {
+		tup := []byte{byte(v), byte(v >> 8)}
+		return Key{Offset: 0, Width: 2}.Extract(tup) == int64(v)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyIterator(t *testing.T) {
+	var e Empty
+	if _, _, ok, err := e.Next(); ok || err != nil {
+		t.Errorf("Empty.Next = %v, %v", ok, err)
+	}
+}
+
+// sliceIter adapts a key list for FilterRange tests.
+type sliceIter struct {
+	keys []int32
+	i    int
+}
+
+func (s *sliceIter) Next() (page.RID, []byte, bool, error) {
+	if s.i >= len(s.keys) {
+		return page.NilRID, nil, false, nil
+	}
+	k := s.keys[s.i]
+	s.i++
+	tup := []byte{byte(k), byte(k >> 8), byte(k >> 16), byte(k >> 24)}
+	return page.RID{Page: page.ID(s.i)}, tup, true, nil
+}
+
+func TestFilterRange(t *testing.T) {
+	key := Key{Offset: 0, Width: 4}
+	it := FilterRange(&sliceIter{keys: []int32{-5, 1, 3, 7, 10, 12}}, key, 1, 10)
+	var got []int64
+	for {
+		_, tup, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, key.Extract(tup))
+	}
+	want := []int64{1, 3, 7, 10}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Empty bound.
+	it = FilterRange(&sliceIter{keys: []int32{1, 2}}, key, 5, 4)
+	if _, _, ok, _ := it.Next(); ok {
+		t.Error("inverted range yielded a tuple")
+	}
+}

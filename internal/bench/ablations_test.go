@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAccessAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	r, err := RunAccessAblation(6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hash and ISAM version scans degrade one page per update round
+	// (Figure 6); the B-tree clusters versions and stays well below.
+	if r.Probe["hash"][6] != 13 {
+		t.Errorf("hash probe at UC6 = %d, want 13", r.Probe["hash"][6])
+	}
+	if r.Probe["isam"][6] != 14 {
+		t.Errorf("isam probe at UC6 = %d, want 14", r.Probe["isam"][6])
+	}
+	if bt := r.Probe["btree"][6]; bt >= r.Probe["hash"][6] {
+		t.Errorf("btree probe at UC6 = %d, expected below hash's %d", bt, r.Probe["hash"][6])
+	}
+	// But the B-tree pays in space (split slack) and scan cost.
+	if r.Size["btree"][6] <= r.Size["hash"][6] {
+		t.Errorf("btree size %d <= hash size %d; expected split slack", r.Size["btree"][6], r.Size["hash"][6])
+	}
+	if !strings.Contains(r.Format(), "btree") {
+		t.Error("Format missing btree column")
+	}
+}
+
+func TestLoadingAblationCrossover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	r, err := RunLoadingAblation(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Section 6: higher loading wins at update count 0...
+	if r.Cost["Q10"][100][0] >= r.Cost["Q10"][50][0] {
+		t.Errorf("Q10 at UC0: ff100 %d >= ff50 %d", r.Cost["Q10"][100][0], r.Cost["Q10"][50][0])
+	}
+	// ... and lower loading wins once the update count grows.
+	if r.Cost["Q10"][50][4] >= r.Cost["Q10"][100][4] {
+		t.Errorf("Q10 at UC4: ff50 %d >= ff100 %d", r.Cost["Q10"][50][4], r.Cost["Q10"][100][4])
+	}
+	if !strings.Contains(r.Format(), "becomes cheaper") {
+		t.Error("Format missing crossover note")
+	}
+}
+
+func TestBufferAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	r, err := RunBufferAblation(2, []int{1, 64}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The single-frame Q10 cost is the benchmark's number; with 64 frames
+	// the inner relation stays cached and the cost collapses.
+	if r.Cost["Q10"][1] >= r.Cost["Q10"][0] {
+		t.Errorf("Q10: 64 frames cost %d >= 1 frame cost %d", r.Cost["Q10"][1], r.Cost["Q10"][0])
+	}
+	if !strings.Contains(r.Format(), "frames") {
+		t.Error("Format missing header")
+	}
+}

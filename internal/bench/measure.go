@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"fmt"
+
+	"tdbms/internal/isam"
+	"tdbms/internal/page"
+)
+
+// Measurement is one query execution's observed cost.
+type Measurement struct {
+	Input   int64 // page reads, including temporaries (the paper's metric)
+	Output  int64 // page writes (temporary + result relations)
+	TempIn  int64 // reads against temporaries (part of the fixed cost)
+	Rows    int   // result tuples
+	Applies bool  // false when the query is not applicable to the type
+}
+
+// Series is the full measurement of one benchmark database across update
+// counts 0..MaxUC: per-query costs plus relation sizes.
+type Series struct {
+	Type    DBType
+	Loading int
+	MaxUC   int
+	// Cost[qid][uc] etc.
+	Cost  map[string][]Measurement
+	SizeH []int
+	SizeI []int
+}
+
+// MeasureAll runs every applicable Figure 4 query against the database,
+// cold (buffers invalidated and counters reset before each query, as the
+// paper's methodology prescribes).
+func MeasureAll(b *DB) (map[string]Measurement, error) {
+	out := make(map[string]Measurement, 12)
+	for _, q := range Queries(b.Type) {
+		if q.Text == "" {
+			out[q.ID] = Measurement{}
+			continue
+		}
+		m, err := MeasureQuery(b, q.Text)
+		if err != nil {
+			return nil, fmt.Errorf("%s on %s/%d%%: %w", q.ID, b.Type, b.Loading, err)
+		}
+		out[q.ID] = m
+	}
+	return out, nil
+}
+
+// MeasureQuery runs one query cold and reports its cost.
+func MeasureQuery(b *DB, text string) (Measurement, error) {
+	if err := b.Inner.InvalidateBuffers(); err != nil {
+		return Measurement{}, err
+	}
+	b.Inner.ResetStats()
+	res, err := b.Inner.Exec(text)
+	if err != nil {
+		return Measurement{}, err
+	}
+	return Measurement{
+		Input:   res.Input,
+		Output:  res.Output,
+		TempIn:  res.TempInput,
+		Rows:    len(res.Rows),
+		Applies: true,
+	}, nil
+}
+
+// Run builds one benchmark database and measures every query at each update
+// count from 0 to maxUC, evolving uniformly between measurements
+// (Section 5.2). The progress callback, if non-nil, is invoked after each
+// update count.
+func Run(t DBType, loading, maxUC int, progress func(uc int)) (*Series, error) {
+	b, err := Build(t, loading)
+	if err != nil {
+		return nil, err
+	}
+	s := &Series{
+		Type:    t,
+		Loading: loading,
+		MaxUC:   maxUC,
+		Cost:    make(map[string][]Measurement),
+	}
+	for uc := 0; uc <= maxUC; uc++ {
+		if uc > 0 {
+			if err := b.Update(); err != nil {
+				return nil, err
+			}
+		}
+		h, i, err := b.Pages()
+		if err != nil {
+			return nil, err
+		}
+		s.SizeH = append(s.SizeH, h)
+		s.SizeI = append(s.SizeI, i)
+		ms, err := MeasureAll(b)
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range QueryIDs {
+			s.Cost[id] = append(s.Cost[id], ms[id])
+		}
+		if progress != nil {
+			progress(uc)
+		}
+	}
+	return s, nil
+}
+
+// dirHeight computes the ISAM directory height of the benchmark's I
+// relation for a type and loading factor.
+func dirHeight(t DBType, loading int) int {
+	width := 108
+	switch t {
+	case Rollback, Historical:
+		width = 116
+	case Temporal:
+		width = 124
+	}
+	pages := isam.DataPageCount(NumTuples, width, loading)
+	h := 1
+	for pages > isam.Fanout {
+		pages = (pages + isam.Fanout - 1) / isam.Fanout
+		h++
+	}
+	return h
+}
+
+// FixedCost identifies the fixed portion of a query's cost (Figure 9): the
+// ISAM directory traversals plus the temporary-relation reads, neither of
+// which grows with the update count.
+func FixedCost(t DBType, loading int, qid string, m Measurement) int64 {
+	h := int64(dirHeight(t, loading))
+	switch qid {
+	case "Q02", "Q06":
+		return h
+	case "Q10":
+		// Tuple substitution probes the ISAM file once per outer tuple.
+		return int64(NumTuples)*h + m.TempIn
+	default:
+		return m.TempIn
+	}
+}
+
+// tuplesPerPage returns the benchmark tuple packing for a type.
+func tuplesPerPage(t DBType) int {
+	if t == Static {
+		return page.Capacity(108)
+	}
+	if t == Temporal {
+		return page.Capacity(124)
+	}
+	return page.Capacity(116)
+}

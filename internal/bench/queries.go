@@ -1,0 +1,81 @@
+package bench
+
+// Query is one benchmark query, instantiated for a database type.
+type Query struct {
+	ID   string // "Q01" .. "Q12"
+	Text string // TQuel source, or "" when not applicable to the type
+}
+
+// Q11AsOf is the rollback constant of Q11; with the generator's seed it
+// selects exactly two versions of the hashed relation, the selectivity
+// behind the paper's 385-page cost.
+const Q11AsOf = `"4:00 1/1/80"`
+
+// Q03AsOf is the rollback constant of Q03/Q04.
+const Q03AsOf = `"08:00 1/1/80"`
+
+// QueryIDs lists the benchmark query identifiers in order.
+var QueryIDs = []string{
+	"Q01", "Q02", "Q03", "Q04", "Q05", "Q06", "Q07", "Q08", "Q09", "Q10", "Q11", "Q12",
+}
+
+// Queries instantiates Figure 4 for a database type. As in the paper, the
+// static queries Q05..Q10 use `when x overlap "now"` on databases with
+// valid time and `as of "now"` on the rollback database, and are plain
+// snapshot queries on the static database; Q03/Q04 apply only to rollback
+// and temporal databases, Q11/Q12 only to the temporal database.
+func Queries(t DBType) []Query {
+	// cur(x) renders the currency restriction for variable x.
+	cur := func(x string) string {
+		switch t {
+		case Static:
+			return ""
+		case Rollback:
+			return ` as of "now"`
+		default:
+			return ` when ` + x + ` overlap "now"`
+		}
+	}
+	// curJoin renders the when/as-of decoration of the join queries.
+	curJoin := func(a, b string) string {
+		switch t {
+		case Static:
+			return ""
+		case Rollback:
+			return ` as of "now"`
+		default:
+			return ` when ` + a + ` overlap ` + b + ` and ` + b + ` overlap "now"`
+		}
+	}
+
+	qs := []Query{
+		{"Q01", `retrieve (h.id, h.seq) where h.id = 500`},
+		{"Q02", `retrieve (i.id, i.seq) where i.id = 500`},
+		{"Q03", ""},
+		{"Q04", ""},
+		{"Q05", `retrieve (h.id, h.seq) where h.id = 500` + cur("h")},
+		{"Q06", `retrieve (i.id, i.seq) where i.id = 500` + cur("i")},
+		{"Q07", `retrieve (h.id, h.seq) where h.amount = 69400` + cur("h")},
+		{"Q08", `retrieve (i.id, i.seq) where i.amount = 73700` + cur("i")},
+		{"Q09", `retrieve (h.id, i.id, i.amount) where h.id = i.amount` + curJoin("h", "i")},
+		{"Q10", `retrieve (i.id, h.id, h.amount) where i.id = h.amount` + curJoin("i", "h")},
+		{"Q11", ""},
+		{"Q12", ""},
+	}
+	if t == Rollback || t == Temporal {
+		qs[2].Text = `retrieve (h.id, h.seq) as of ` + Q03AsOf
+		qs[3].Text = `retrieve (i.id, i.seq) as of ` + Q03AsOf
+	}
+	if t == Temporal {
+		qs[10].Text = `retrieve (h.id, h.seq, i.id, i.seq, i.amount)
+			valid from start of h to end of i
+			when start of h precede i
+			as of ` + Q11AsOf
+		qs[11].Text = `retrieve (h.id, h.seq, i.id, i.seq, i.amount)
+			valid from start of (h overlap i) to end of (h extend i)
+			where h.id = 500 and i.amount = 73700
+			when h overlap i
+			as of "now"`
+	}
+	return qs
+}

@@ -1,0 +1,220 @@
+// Package bench implements the benchmark of Section 5 of the paper: the
+// eight test databases (four types times two loading factors), the twelve
+// queries of Figure 4, the uniform and non-uniform database evolutions, and
+// the measurement and table formatting for Figures 5 through 10.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tdbms/internal/core"
+	"tdbms/internal/temporal"
+)
+
+// DBType names the four database types of Figure 1.
+type DBType string
+
+// Benchmark database types.
+const (
+	Static     DBType = "static"
+	Rollback   DBType = "rollback"
+	Historical DBType = "historical"
+	Temporal   DBType = "temporal"
+)
+
+// Types lists the four database types in the paper's order.
+var Types = []DBType{Static, Rollback, Historical, Temporal}
+
+// Loadings lists the two loading factors of the benchmark.
+var Loadings = []int{100, 50}
+
+// Workload geometry from Section 5.1.
+const (
+	// NumTuples is the relation cardinality.
+	NumTuples = 1024
+	// seed makes the "random" amount/string/time attributes reproducible.
+	// It is chosen so that exactly two tuples of the hashed relation have a
+	// transaction start at or before 4:00 Jan 1 1980, matching the
+	// selectivity behind Q11's cost in the paper (129 + 2x128 = 385 pages).
+	seed = 31
+)
+
+// Epoch is the start of the initialization window: Jan 1, 1980.
+var Epoch = temporal.Date(1980, 1, 1, 0, 0, 0)
+
+// initEnd is the end of the initialization window: Feb 15, 1980.
+var initEnd = temporal.Date(1980, 2, 15, 0, 0, 0)
+
+// loadTime is when the benchmark clock starts after initialization.
+var loadTime = temporal.Date(1980, 3, 1, 0, 0, 0)
+
+// DB is one benchmark database: two relations, <type>_h hashed on id and
+// <type>_i ISAM on id, with range variables h and i.
+type DB struct {
+	Type    DBType
+	Loading int
+	Inner   *core.Database
+	H, I    string // relation names
+	// UpdateCount is the current average update count.
+	UpdateCount int
+}
+
+// createDecl returns the TQuel create prefix for a type.
+func createDecl(t DBType) string {
+	switch t {
+	case Static:
+		return "create"
+	case Rollback:
+		return "create persistent"
+	case Historical:
+		return "create interval"
+	default:
+		return "create persistent interval"
+	}
+}
+
+// newWorkloadRNG returns the deterministic stream for one relation.
+func newWorkloadRNG(relIdx int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed + relIdx))
+}
+
+// randomTimes draws the Section 5.1 initialization times: "randomly
+// initialized to values between Jan. 1 and Feb. 15 in 1980".
+func randomTimes(rng *rand.Rand, n int) []temporal.Time {
+	out := make([]temporal.Time, n)
+	span := int64(initEnd - Epoch)
+	for i := range out {
+		out[i] = Epoch + temporal.Time(rng.Int63n(span))
+	}
+	return out
+}
+
+// amounts is a random permutation of {0, 100, ..., 102300}, guaranteeing
+// that the benchmark constants 69400 and 73700 each select exactly one
+// tuple (Q07/Q08/Q12).
+func amounts(rng *rand.Rand) []int64 {
+	out := make([]int64, NumTuples)
+	for i := range out {
+		out[i] = int64(i) * 100
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// randomString produces the 96-byte filler attribute.
+func randomString(rng *rand.Rand) string {
+	b := make([]byte, 96)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	return string(b)
+}
+
+// Build creates one benchmark database: both relations created, loaded with
+// 1024 tuples (108 data bytes each), and modified to their access methods
+// at the requested loading factor, exactly as Figure 3 does.
+func Build(t DBType, loading int) (*DB, error) {
+	inner := core.MustOpen(core.Options{Now: loadTime})
+	b := &DB{
+		Type:    t,
+		Loading: loading,
+		Inner:   inner,
+		H:       string(t) + "_h",
+		I:       string(t) + "_i",
+	}
+	for _, rel := range []string{b.H, b.I} {
+		stmt := fmt.Sprintf("%s %s (id = i4, amount = i4, seq = i4, string = c96)", createDecl(t), rel)
+		if _, err := inner.Exec(stmt); err != nil {
+			return nil, err
+		}
+	}
+
+	// Each relation gets its own deterministic stream, offset so the two
+	// relations differ.
+	for relIdx, rel := range []string{b.H, b.I} {
+		rows, err := generateRows(t, int64(relIdx))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := inner.Load(rel, rows); err != nil {
+			return nil, err
+		}
+	}
+
+	mods := fmt.Sprintf(`modify %s to hash on id where fillfactor = %d
+	                     modify %s to isam on id where fillfactor = %d`,
+		b.H, loading, b.I, loading)
+	if _, err := inner.Exec(mods); err != nil {
+		return nil, err
+	}
+	ranges := fmt.Sprintf(`range of h is %s
+	                       range of i is %s`, b.H, b.I)
+	if _, err := inner.Exec(ranges); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Update performs one uniform update round: every current tuple of both
+// relations is replaced with its seq incremented (Section 5.2), raising the
+// average update count by one. The clock also advances after the round so
+// that subsequent measurements of "now" fall strictly after the update
+// instant (as wall-clock time did in the original runs).
+func (b *DB) Update() error {
+	b.Inner.Clock().Advance(3600)
+	for _, v := range []string{"h", "i"} {
+		if _, err := b.Inner.Exec(fmt.Sprintf(`replace %s (seq = %s.seq + 1)`, v, v)); err != nil {
+			return err
+		}
+	}
+	b.Inner.Clock().Advance(60)
+	b.UpdateCount++
+	return nil
+}
+
+// UpdateSingle repeatedly replaces only the tuple with the given id n
+// times — the maximum-variance evolution of Section 5.4.
+func (b *DB) UpdateSingle(id, n int) error {
+	for k := 0; k < n; k++ {
+		b.Inner.Clock().Advance(60)
+		stmt := fmt.Sprintf(`replace h (seq = h.seq + 1) where h.id = %d`, id)
+		if _, err := b.Inner.Exec(stmt); err != nil {
+			return err
+		}
+		stmt = fmt.Sprintf(`replace i (seq = i.seq + 1) where i.id = %d`, id)
+		if _, err := b.Inner.Exec(stmt); err != nil {
+			return err
+		}
+	}
+	b.Inner.Clock().Advance(60)
+	return nil
+}
+
+// Pages reports the sizes of the two relations in pages.
+func (b *DB) Pages() (h, i int, err error) {
+	if h, err = b.Inner.NumPages(b.H); err != nil {
+		return 0, 0, err
+	}
+	i, err = b.Inner.NumPages(b.I)
+	return h, i, err
+}
+
+// TxStartCount counts hashed-relation tuples whose transaction (or valid)
+// start is at or before t — the selectivity of the as-of constants in Q03
+// and Q11.
+func (b *DB) TxStartCount(t temporal.Time) (int, error) {
+	if b.Type == Static {
+		return 0, fmt.Errorf("bench: static relations carry no time attributes")
+	}
+	attr := "transaction_start"
+	if b.Type == Historical {
+		attr = "valid_from"
+	}
+	res, err := b.Inner.Exec(fmt.Sprintf(
+		`retrieve (h.id) where h.%s <= %d and h.seq = 0`, attr, int64(t)))
+	if err != nil {
+		return 0, err
+	}
+	return len(res.Rows), nil
+}

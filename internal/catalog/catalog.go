@@ -1,0 +1,273 @@
+// Package catalog implements the system catalog: relation descriptors
+// carrying the database type of Section 2 (static, rollback, historical,
+// temporal), the valid-time model (event or interval), the implicit time
+// attributes the prototype appends to each tuple (Section 4), and the
+// storage-structure choice made by `modify`.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tdbms/internal/tuple"
+)
+
+// DBType is the taxonomy of Figure 1: the cross product of rollback
+// (transaction time) and historical (valid time) support.
+type DBType int
+
+// Database types.
+const (
+	Static DBType = iota
+	Rollback
+	Historical
+	Temporal
+)
+
+// String implements fmt.Stringer.
+func (t DBType) String() string {
+	switch t {
+	case Static:
+		return "static"
+	case Rollback:
+		return "rollback"
+	case Historical:
+		return "historical"
+	case Temporal:
+		return "temporal"
+	}
+	return fmt.Sprintf("DBType(%d)", int(t))
+}
+
+// HasTransactionTime reports whether relations of this type carry
+// transaction start/stop attributes (support rollback).
+func (t DBType) HasTransactionTime() bool { return t == Rollback || t == Temporal }
+
+// HasValidTime reports whether relations of this type carry valid time
+// attributes (support historical queries).
+func (t DBType) HasValidTime() bool { return t == Historical || t == Temporal }
+
+// Model is the valid-time model of a historical or temporal relation: TQuel
+// distinguishes interval relations from event relations in the create
+// statement.
+type Model int
+
+// Valid-time models.
+const (
+	ModelNone Model = iota // static/rollback: no valid time
+	ModelInterval
+	ModelEvent
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	switch m {
+	case ModelNone:
+		return "none"
+	case ModelInterval:
+		return "interval"
+	case ModelEvent:
+		return "event"
+	}
+	return fmt.Sprintf("Model(%d)", int(m))
+}
+
+// AccessMethod is the storage structure chosen by `modify`.
+type AccessMethod int
+
+// Access methods. Btree is the Section 6 "adapts to dynamic growth"
+// alternative the prototype did not have; this implementation provides it
+// for the ablation benchmarks.
+const (
+	Heap AccessMethod = iota
+	Hash
+	Isam
+	Btree
+)
+
+// String implements fmt.Stringer.
+func (m AccessMethod) String() string {
+	switch m {
+	case Heap:
+		return "heap"
+	case Hash:
+		return "hash"
+	case Isam:
+		return "isam"
+	case Btree:
+		return "btree"
+	}
+	return fmt.Sprintf("AccessMethod(%d)", int(m))
+}
+
+// StableRIDs reports whether tuples keep their page/slot address across
+// inserts. B-tree leaf splits relocate tuples, so DML re-resolves addresses
+// for B-tree relations.
+func (m AccessMethod) StableRIDs() bool { return m != Btree }
+
+// Names of the implicit time attributes.
+const (
+	AttrTransactionStart = "transaction_start"
+	AttrTransactionStop  = "transaction_stop"
+	AttrValidFrom        = "valid_from"
+	AttrValidTo          = "valid_to"
+	AttrValidAt          = "valid_at"
+)
+
+var implicitNames = map[string]bool{
+	AttrTransactionStart: true,
+	AttrTransactionStop:  true,
+	AttrValidFrom:        true,
+	AttrValidTo:          true,
+	AttrValidAt:          true,
+}
+
+// Relation describes one relation: user schema, type, implicit attributes,
+// and current storage structure.
+type Relation struct {
+	Name         string
+	Type         DBType
+	Model        Model
+	NumUserAttrs int
+	Schema       *tuple.Schema // user attributes followed by implicit ones
+
+	// Storage structure (set by modify; Heap with Fillfactor 100 initially).
+	Method     AccessMethod
+	KeyAttr    string
+	Fillfactor int
+
+	// Indexes into Schema of the implicit attributes, or -1. For event
+	// relations VF == VT == the valid_at attribute.
+	TS, TE, VF, VT int
+}
+
+// UserAttrs returns the explicitly declared attributes.
+func (r *Relation) UserAttrs() []tuple.Attr {
+	return r.Schema.Attrs()[:r.NumUserAttrs]
+}
+
+// Width is the stored tuple width including implicit attributes.
+func (r *Relation) Width() int { return r.Schema.Width() }
+
+// KeyIndex returns the schema index of the storage key attribute, or -1 for
+// a heap.
+func (r *Relation) KeyIndex() int {
+	if r.KeyAttr == "" {
+		return -1
+	}
+	return r.Schema.Index(r.KeyAttr)
+}
+
+// Catalog is the set of relations of one database.
+type Catalog struct {
+	rels map[string]*Relation
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{rels: make(map[string]*Relation)}
+}
+
+// Create registers a relation. The implicit time attributes implied by the
+// type and model are appended to the user attributes:
+//
+//	rollback:            transaction_start, transaction_stop
+//	historical interval: valid_from, valid_to
+//	historical event:    valid_at
+//	temporal interval:   transaction_start, transaction_stop, valid_from, valid_to
+//	temporal event:      transaction_start, transaction_stop, valid_at
+//
+// A fresh relation is a heap; `modify` changes the storage structure.
+func (c *Catalog) Create(name string, typ DBType, model Model, attrs []tuple.Attr) (*Relation, error) {
+	lname := strings.ToLower(name)
+	if _, dup := c.rels[lname]; dup {
+		return nil, fmt.Errorf("catalog: relation %q already exists", name)
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("catalog: relation %q has no attributes", name)
+	}
+	if typ.HasValidTime() != (model != ModelNone) {
+		return nil, fmt.Errorf("catalog: type %s requires %s valid-time model", typ,
+			map[bool]string{true: "an interval or event", false: "no"}[typ.HasValidTime()])
+	}
+	seen := map[string]bool{}
+	for _, a := range attrs {
+		la := strings.ToLower(a.Name)
+		if implicitNames[la] {
+			return nil, fmt.Errorf("catalog: attribute name %q is reserved for implicit time attributes", a.Name)
+		}
+		if seen[la] {
+			return nil, fmt.Errorf("catalog: duplicate attribute %q", a.Name)
+		}
+		seen[la] = true
+		if a.Kind == tuple.Char && a.Len <= 0 {
+			return nil, fmt.Errorf("catalog: char attribute %q needs a positive length", a.Name)
+		}
+	}
+
+	all := append([]tuple.Attr(nil), attrs...)
+	ts, te, vf, vt := -1, -1, -1, -1
+	if typ.HasTransactionTime() {
+		ts = len(all)
+		all = append(all, tuple.Attr{Name: AttrTransactionStart, Kind: tuple.Temporal})
+		te = len(all)
+		all = append(all, tuple.Attr{Name: AttrTransactionStop, Kind: tuple.Temporal})
+	}
+	switch model {
+	case ModelInterval:
+		vf = len(all)
+		all = append(all, tuple.Attr{Name: AttrValidFrom, Kind: tuple.Temporal})
+		vt = len(all)
+		all = append(all, tuple.Attr{Name: AttrValidTo, Kind: tuple.Temporal})
+	case ModelEvent:
+		vf = len(all)
+		all = append(all, tuple.Attr{Name: AttrValidAt, Kind: tuple.Temporal})
+		vt = vf
+	}
+
+	r := &Relation{
+		Name:         name,
+		Type:         typ,
+		Model:        model,
+		NumUserAttrs: len(attrs),
+		Schema:       tuple.NewSchema(all...),
+		Method:       Heap,
+		Fillfactor:   100,
+		TS:           ts,
+		TE:           te,
+		VF:           vf,
+		VT:           vt,
+	}
+	c.rels[lname] = r
+	return r, nil
+}
+
+// Get looks a relation up by name (case-insensitive).
+func (c *Catalog) Get(name string) (*Relation, error) {
+	r, ok := c.rels[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: relation %q does not exist", name)
+	}
+	return r, nil
+}
+
+// Destroy removes a relation.
+func (c *Catalog) Destroy(name string) error {
+	lname := strings.ToLower(name)
+	if _, ok := c.rels[lname]; !ok {
+		return fmt.Errorf("catalog: relation %q does not exist", name)
+	}
+	delete(c.rels, lname)
+	return nil
+}
+
+// List returns relation names in sorted order.
+func (c *Catalog) List() []string {
+	names := make([]string, 0, len(c.rels))
+	for _, r := range c.rels {
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,162 @@
+package catalog
+
+import (
+	"testing"
+
+	"tdbms/internal/tuple"
+)
+
+func benchAttrs() []tuple.Attr {
+	return []tuple.Attr{
+		{Name: "id", Kind: tuple.I4},
+		{Name: "amount", Kind: tuple.I4},
+		{Name: "seq", Kind: tuple.I4},
+		{Name: "string", Kind: tuple.Char, Len: 96},
+	}
+}
+
+func TestImplicitAttributes(t *testing.T) {
+	cases := []struct {
+		typ       DBType
+		model     Model
+		extra     []string
+		width     int
+		ts, vf    bool
+		eventForm bool
+	}{
+		{Static, ModelNone, nil, 108, false, false, false},
+		{Rollback, ModelNone, []string{AttrTransactionStart, AttrTransactionStop}, 116, true, false, false},
+		{Historical, ModelInterval, []string{AttrValidFrom, AttrValidTo}, 116, false, true, false},
+		{Historical, ModelEvent, []string{AttrValidAt}, 112, false, true, true},
+		{Temporal, ModelInterval, []string{AttrTransactionStart, AttrTransactionStop, AttrValidFrom, AttrValidTo}, 124, true, true, false},
+		{Temporal, ModelEvent, []string{AttrTransactionStart, AttrTransactionStop, AttrValidAt}, 120, true, true, true},
+	}
+	for _, c := range cases {
+		cat := New()
+		r, err := cat.Create("r", c.typ, c.model, benchAttrs())
+		if err != nil {
+			t.Fatalf("%s/%s: %v", c.typ, c.model, err)
+		}
+		if r.NumUserAttrs != 4 {
+			t.Errorf("%s: user attrs %d", c.typ, r.NumUserAttrs)
+		}
+		if got := r.Schema.NumAttrs() - r.NumUserAttrs; got != len(c.extra) {
+			t.Errorf("%s/%s: %d implicit attrs, want %d", c.typ, c.model, got, len(c.extra))
+		}
+		for i, name := range c.extra {
+			if got := r.Schema.Attr(r.NumUserAttrs + i).Name; got != name {
+				t.Errorf("%s/%s: implicit[%d] = %q, want %q", c.typ, c.model, i, got, name)
+			}
+		}
+		if r.Width() != c.width {
+			t.Errorf("%s/%s: width %d, want %d", c.typ, c.model, r.Width(), c.width)
+		}
+		if (r.TS >= 0) != c.ts {
+			t.Errorf("%s/%s: TS = %d", c.typ, c.model, r.TS)
+		}
+		if (r.VF >= 0) != c.vf {
+			t.Errorf("%s/%s: VF = %d", c.typ, c.model, r.VF)
+		}
+		if c.eventForm && r.VF != r.VT {
+			t.Errorf("%s/%s: event relation should alias VF and VT", c.typ, c.model)
+		}
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	cat := New()
+	if _, err := cat.Create("r", Static, ModelNone, nil); err == nil {
+		t.Error("empty attribute list accepted")
+	}
+	if _, err := cat.Create("r", Static, ModelNone, []tuple.Attr{
+		{Name: "a", Kind: tuple.I4}, {Name: "A", Kind: tuple.I4},
+	}); err == nil {
+		t.Error("case-insensitive duplicate attribute accepted")
+	}
+	if _, err := cat.Create("r", Static, ModelNone, []tuple.Attr{
+		{Name: "valid_from", Kind: tuple.I4},
+	}); err == nil {
+		t.Error("reserved implicit name accepted")
+	}
+	if _, err := cat.Create("r", Static, ModelNone, []tuple.Attr{
+		{Name: "s", Kind: tuple.Char, Len: 0},
+	}); err == nil {
+		t.Error("zero-length char accepted")
+	}
+	// Type/model coherence.
+	if _, err := cat.Create("r", Historical, ModelNone, benchAttrs()); err == nil {
+		t.Error("historical relation without a valid-time model accepted")
+	}
+	if _, err := cat.Create("r", Rollback, ModelInterval, benchAttrs()); err == nil {
+		t.Error("rollback relation with a valid-time model accepted")
+	}
+	if _, err := cat.Create("r", Static, ModelEvent, benchAttrs()); err == nil {
+		t.Error("static relation with a valid-time model accepted")
+	}
+}
+
+func TestLookupLifecycle(t *testing.T) {
+	cat := New()
+	if _, err := cat.Create("Emp", Static, ModelNone, benchAttrs()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Create("emp", Static, ModelNone, benchAttrs()); err == nil {
+		t.Error("case-insensitive duplicate relation accepted")
+	}
+	r, err := cat.Get("EMP")
+	if err != nil || r.Name != "Emp" {
+		t.Fatalf("Get: %v, %v", r, err)
+	}
+	if _, err := cat.Get("nope"); err == nil {
+		t.Error("Get of missing relation succeeded")
+	}
+	if got := cat.List(); len(got) != 1 || got[0] != "Emp" {
+		t.Errorf("List = %v", got)
+	}
+	if err := cat.Destroy("emp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Destroy("emp"); err == nil {
+		t.Error("double Destroy succeeded")
+	}
+	if got := cat.List(); len(got) != 0 {
+		t.Errorf("List after destroy = %v", got)
+	}
+}
+
+func TestKeyIndex(t *testing.T) {
+	cat := New()
+	r, err := cat.Create("r", Temporal, ModelInterval, benchAttrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.KeyIndex(); got != -1 {
+		t.Errorf("heap KeyIndex = %d", got)
+	}
+	r.Method = Hash
+	r.KeyAttr = "id"
+	if got := r.KeyIndex(); got != 0 {
+		t.Errorf("KeyIndex = %d", got)
+	}
+	if got := r.UserAttrs(); len(got) != 4 || got[3].Name != "string" {
+		t.Errorf("UserAttrs = %v", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Static.String() != "static" || Temporal.String() != "temporal" {
+		t.Error("DBType strings")
+	}
+	if ModelInterval.String() != "interval" || ModelEvent.String() != "event" {
+		t.Error("Model strings")
+	}
+	if Heap.String() != "heap" || Hash.String() != "hash" || Isam.String() != "isam" {
+		t.Error("AccessMethod strings")
+	}
+	if !Temporal.HasTransactionTime() || !Temporal.HasValidTime() {
+		t.Error("temporal capabilities")
+	}
+	if Rollback.HasValidTime() || Historical.HasTransactionTime() {
+		t.Error("rollback/historical capabilities")
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"tdbms/internal/tquel"
+	"tdbms/internal/tuple"
+)
+
+// aggState accumulates one aggregate function over the qualified tuples.
+type aggState struct {
+	fn    string
+	n     int64
+	sumI  int64
+	sumF  float64
+	float bool
+	min   tuple.Value
+	max   tuple.Value
+	has   bool
+}
+
+func (a *aggState) add(v tuple.Value) error {
+	switch a.fn {
+	case "count", "any":
+		a.n++
+		return nil
+	}
+	if !v.IsNumeric() && (a.fn == "sum" || a.fn == "avg") {
+		return fmt.Errorf("core: %s over a string attribute", a.fn)
+	}
+	a.n++
+	if v.Kind == tuple.F4 || v.Kind == tuple.F8 {
+		a.float = true
+	}
+	if v.IsNumeric() {
+		a.sumI += v.AsInt()
+		a.sumF += v.AsFloat()
+	}
+	if !a.has {
+		a.min, a.max, a.has = v, v, true
+		return nil
+	}
+	if c, err := tuple.Compare(v, a.min); err != nil {
+		return err
+	} else if c < 0 {
+		a.min = v
+	}
+	if c, err := tuple.Compare(v, a.max); err != nil {
+		return err
+	} else if c > 0 {
+		a.max = v
+	}
+	return nil
+}
+
+func (a *aggState) result() (tuple.Value, error) {
+	switch a.fn {
+	case "count":
+		return tuple.IntValue(a.n), nil
+	case "any":
+		if a.n > 0 {
+			return tuple.IntValue(1), nil
+		}
+		return tuple.IntValue(0), nil
+	case "sum":
+		if a.float {
+			return tuple.FloatValue(a.sumF), nil
+		}
+		return tuple.IntValue(a.sumI), nil
+	case "avg":
+		if a.n == 0 {
+			return tuple.FloatValue(0), nil
+		}
+		return tuple.FloatValue(a.sumF / float64(a.n)), nil
+	case "min":
+		if !a.has {
+			return tuple.IntValue(0), nil
+		}
+		return a.min, nil
+	case "max":
+		if !a.has {
+			return tuple.IntValue(0), nil
+		}
+		return a.max, nil
+	}
+	return tuple.Value{}, fmt.Errorf("core: unknown aggregate %q", a.fn)
+}
+
+// collectAggs gathers the aggregate nodes of an expression tree.
+func collectAggs(x tquel.Expr, out *[]*tquel.AggExpr) {
+	switch ex := x.(type) {
+	case *tquel.AggExpr:
+		*out = append(*out, ex)
+	case *tquel.BinaryExpr:
+		collectAggs(ex.L, out)
+		collectAggs(ex.R, out)
+	case *tquel.UnaryExpr:
+		collectAggs(ex.X, out)
+	}
+}
+
+// hasBareAttr reports whether the expression references a tuple attribute
+// outside any aggregate (which cannot be output alongside aggregates).
+func hasBareAttr(x tquel.Expr) bool {
+	switch ex := x.(type) {
+	case *tquel.AttrExpr, *tquel.TAttrExpr:
+		return true
+	case *tquel.BinaryExpr:
+		return hasBareAttr(ex.L) || hasBareAttr(ex.R)
+	case *tquel.UnaryExpr:
+		return hasBareAttr(ex.X)
+	}
+	return false
+}
+
+// sortRows orders retrieve output by the named result columns.
+func sortRows(cols []string, rows [][]tuple.Value, keys []tquel.SortKey) error {
+	idx := make([]int, len(keys))
+	for i, k := range keys {
+		idx[i] = -1
+		for ci, c := range cols {
+			if c == k.Column {
+				idx[i] = ci
+				break
+			}
+		}
+		if idx[i] < 0 {
+			return fmt.Errorf("core: sort column %q is not in the target list", k.Column)
+		}
+	}
+	var sortErr error
+	sort.SliceStable(rows, func(a, b int) bool {
+		for i, ci := range idx {
+			c, err := tuple.Compare(rows[a][ci], rows[b][ci])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c == 0 {
+				continue
+			}
+			if keys[i].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return sortErr
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"tdbms/internal/temporal"
+)
+
+func aggDB(t *testing.T) *Database {
+	t.Helper()
+	db := newDB(t)
+	mustExec(t, db, `create persistent interval sal (emp = i4, amount = i4, dept = c8)
+	                 range of s is sal`)
+	for i := 1; i <= 10; i++ {
+		mustExec(t, db, fmt.Sprintf(`append to sal (emp = %d, amount = %d, dept = "d%d")`, i, i*100, i%2))
+	}
+	db.Clock().Advance(100)
+	// Raise half the salaries: history accumulates.
+	mustExec(t, db, `replace s (amount = s.amount + 1000) where s.emp > 5`)
+	db.Clock().Advance(100)
+	return db
+}
+
+func TestAggregates(t *testing.T) {
+	db := aggDB(t)
+
+	r := mustExec(t, db, `retrieve (n = count(s.emp), total = sum(s.amount),
+		lo = min(s.amount), hi = max(s.amount), mean = avg(s.amount))
+		when s overlap "now"`)
+	if len(r.Rows) != 1 {
+		t.Fatalf("aggregate rows: %d", len(r.Rows))
+	}
+	row := r.Rows[0]
+	if row[0].I != 10 {
+		t.Errorf("count = %v", row[0])
+	}
+	// sum = 100+...+500 + (600..1000)+5000 = 1500 + 4000+5000 = 10500.
+	if row[1].I != 10500 {
+		t.Errorf("sum = %v", row[1])
+	}
+	if row[2].I != 100 || row[3].I != 2000 {
+		t.Errorf("min/max = %v/%v", row[2], row[3])
+	}
+	if row[4].F != 1050 {
+		t.Errorf("avg = %v", row[4])
+	}
+
+	// Aggregates respect the full temporal qualification: salaries as they
+	// were before the raise.
+	past := temporal.Format(epoch+50, temporal.Second)
+	r = mustExec(t, db, fmt.Sprintf(
+		`retrieve (hi = max(s.amount)) when s overlap %q`, past))
+	if r.Rows[0][0].I != 1000 {
+		t.Errorf("historical max = %v", r.Rows[0][0])
+	}
+
+	// Aggregates over an empty qualification.
+	r = mustExec(t, db, `retrieve (n = count(s.emp), some = any(s.emp)) where s.emp > 99`)
+	if r.Rows[0][0].I != 0 || r.Rows[0][1].I != 0 {
+		t.Errorf("empty aggregates: %v", r.Rows[0])
+	}
+	r = mustExec(t, db, `retrieve (some = any(s.emp)) where s.emp = 3`)
+	if r.Rows[0][0].I != 1 {
+		t.Errorf("any = %v", r.Rows[0][0])
+	}
+
+	// Arithmetic around aggregates.
+	r = mustExec(t, db, `retrieve (spread = max(s.amount) - min(s.amount)) when s overlap "now"`)
+	if r.Rows[0][0].I != 1900 {
+		t.Errorf("spread = %v", r.Rows[0][0])
+	}
+
+	// min/max over strings.
+	r = mustExec(t, db, `retrieve (first = min(s.dept), last = max(s.dept)) when s overlap "now"`)
+	if r.Rows[0][0].S != "d0" || r.Rows[0][1].S != "d1" {
+		t.Errorf("string min/max: %v", r.Rows[0])
+	}
+}
+
+func TestGroupedAggregates(t *testing.T) {
+	db := aggDB(t)
+	r := mustExec(t, db, `retrieve (d = s.dept, n = count(s.emp by s.dept), total = sum(s.amount by s.dept))
+		when s overlap "now"
+		sort by d`)
+	if len(r.Rows) != 2 {
+		t.Fatalf("groups: %v", r.Rows)
+	}
+	// dept d0 = emps 2,4,6,8,10: amounts 200,400,1600,1800,2000 -> 6000;
+	// dept d1 = emps 1,3,5,7,9: amounts 100,300,500,1700,1900 -> 4500.
+	if r.Rows[0][0].S != "d0" || r.Rows[0][1].I != 5 || r.Rows[0][2].I != 6000 {
+		t.Errorf("group d0: %v", r.Rows[0])
+	}
+	if r.Rows[1][0].S != "d1" || r.Rows[1][1].I != 5 || r.Rows[1][2].I != 4500 {
+		t.Errorf("group d1: %v", r.Rows[1])
+	}
+
+	// Grouping respects the temporal qualification (pre-raise amounts).
+	r = mustExec(t, db, `retrieve (d = s.dept, hi = max(s.amount by s.dept))
+		when s overlap "00:00:30 1/1/80" sort by d`)
+	if len(r.Rows) != 2 || r.Rows[0][1].I != 1000 || r.Rows[1][1].I != 900 {
+		t.Fatalf("historical groups: %v", r.Rows)
+	}
+
+	// Grouping by a computed expression.
+	r = mustExec(t, db, `retrieve (half = s.emp / 6, n = count(s.emp by s.emp / 6)) when s overlap "now" sort by half`)
+	if len(r.Rows) != 2 || r.Rows[0][1].I != 5 || r.Rows[1][1].I != 5 {
+		t.Fatalf("computed grouping: %v", r.Rows)
+	}
+}
+
+func TestGroupedAggregateErrors(t *testing.T) {
+	db := aggDB(t)
+	bad := []string{
+		// Mismatched by-lists.
+		`retrieve (a = count(s.emp by s.dept), b = sum(s.amount by s.emp))`,
+		// Non-grouping bare target.
+		`retrieve (s.emp, n = count(s.emp by s.dept))`,
+		// Aggregate inside a grouping expression.
+		`retrieve (n = count(s.emp by count(s.emp)))`,
+	}
+	for _, src := range bad {
+		if _, err := db.Exec(src); err == nil {
+			t.Errorf("Exec(%q) succeeded", src)
+		}
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	db := aggDB(t)
+	bad := []string{
+		`retrieve (s.emp, n = count(s.emp))`,           // mixing
+		`retrieve (n = count(s.emp)) valid at "now"`,   // valid clause
+		`retrieve into x (n = count(s.emp))`,           // into
+		`retrieve (x = sum(s.dept))`,                   // sum of strings
+		`retrieve (s.emp) where count(s.emp) > 1`,      // aggregate in where
+		`retrieve (n = count(s.emp)) sort by whatever`, // unknown sort column
+	}
+	for _, src := range bad {
+		if _, err := db.Exec(src); err == nil {
+			t.Errorf("Exec(%q) succeeded", src)
+		}
+	}
+}
+
+func TestSortBy(t *testing.T) {
+	db := aggDB(t)
+	r := mustExec(t, db, `retrieve (s.emp, s.amount) when s overlap "now" sort by amount desc, emp`)
+	if len(r.Rows) != 10 {
+		t.Fatalf("rows: %d", len(r.Rows))
+	}
+	if r.Rows[0][1].I != 2000 || r.Rows[9][1].I != 100 {
+		t.Errorf("sort desc: first %v last %v", r.Rows[0], r.Rows[9])
+	}
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i][1].I > r.Rows[i-1][1].I {
+			t.Fatalf("row %d out of order", i)
+		}
+	}
+	r = mustExec(t, db, `retrieve (s.dept, s.emp) when s overlap "now" sort by dept, emp desc`)
+	if r.Rows[0][0].S != "d0" || r.Rows[0][1].I != 10 {
+		t.Errorf("multi-key sort: %v", r.Rows[0])
+	}
+}

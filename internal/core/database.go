@@ -1,0 +1,294 @@
+// Package core implements the temporal DBMS itself — the paper's primary
+// contribution (Section 4): a Database holding typed relations (static,
+// rollback, historical, temporal), executing TQuel statements with the
+// version-chain update semantics of Section 4 and the Ingres-style query
+// processing of Section 5.3 (one-variable query interpreter, decomposition
+// by one-variable detachment and tuple substitution), under the
+// one-buffer-per-relation policy whose page counts the benchmark measures.
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"tdbms/internal/buffer"
+	"tdbms/internal/catalog"
+	"tdbms/internal/secindex"
+	"tdbms/internal/storage"
+	"tdbms/internal/temporal"
+	"tdbms/internal/tquel"
+)
+
+// Options configure a Database.
+type Options struct {
+	// Dir, when non-empty, stores relations in page files under this
+	// directory; otherwise everything is in memory.
+	Dir string
+	// Now sets the initial logical clock. Zero means the beginning of time;
+	// the benchmark sets an explicit epoch.
+	Now temporal.Time
+	// TwoLevelStore enables the Section 6 enhancement for relations created
+	// after the flag is set: current versions in the primary store, history
+	// versions in a separate history store.
+	TwoLevelStore bool
+	// ClusteredHistory packs history versions of the same tuple together
+	// (the "Clustered" column of Figure 10). Only meaningful with
+	// TwoLevelStore.
+	ClusteredHistory bool
+	// BufferFrames is the number of buffer frames per relation. Zero or
+	// one gives the paper's measurement policy (Section 5.1); larger
+	// values are for the buffer-sensitivity ablation.
+	BufferFrames int
+}
+
+// Database is a temporal database: a catalog of typed relations, their open
+// storage files, the range-variable table, and the logical clock.
+type Database struct {
+	opts   Options
+	cat    *catalog.Catalog
+	rels   map[string]*relHandle
+	ranges map[string]string // range variable -> relation name
+	clock  *temporal.Clock
+	tmpSeq int
+}
+
+// relHandle is an open relation: descriptor plus storage.
+type relHandle struct {
+	desc    *catalog.Relation
+	src     source
+	indexes map[string]*secindex.Index
+}
+
+// Open creates an empty in-memory database or, when opts.Dir names a
+// directory with a catalog sidecar, reattaches the persisted relations.
+func Open(opts Options) (*Database, error) {
+	db := &Database{
+		opts:   opts,
+		cat:    catalog.New(),
+		rels:   make(map[string]*relHandle),
+		ranges: make(map[string]string),
+		clock:  temporal.NewClock(opts.Now),
+	}
+	if err := db.loadCatalog(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// MustOpen is Open for in-memory databases, which cannot fail.
+func MustOpen(opts Options) *Database {
+	if opts.Dir != "" {
+		panic("core: MustOpen is for in-memory databases; use Open with a directory")
+	}
+	db, err := Open(opts)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Clock exposes the logical clock (the benchmark advances it between
+// update rounds).
+func (db *Database) Clock() *temporal.Clock { return db.clock }
+
+// Catalog exposes the system catalog for inspection.
+func (db *Database) Catalog() *catalog.Catalog { return db.cat }
+
+// newFile creates a fresh paged file for the named relation or temporary.
+func (db *Database) newFile(name string) (storage.File, error) {
+	if db.opts.Dir == "" {
+		return storage.NewMem(), nil
+	}
+	return storage.OpenDisk(filepath.Join(db.opts.Dir, strings.ToLower(name)+".tdb"))
+}
+
+// newBuffer wraps a fresh file for name in a buffer with the configured
+// frame count (one, under the paper's policy).
+func (db *Database) newBuffer(name string) (*buffer.Buffered, error) {
+	f, err := db.newFile(name)
+	if err != nil {
+		return nil, err
+	}
+	n := db.opts.BufferFrames
+	if n < 1 {
+		n = 1
+	}
+	return buffer.NewWithFrames(name, f, n), nil
+}
+
+// handle returns the open handle for a relation name.
+func (db *Database) handle(name string) (*relHandle, error) {
+	h, ok := db.rels[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("core: relation %q does not exist", name)
+	}
+	return h, nil
+}
+
+// relForVar resolves a range variable to its relation handle.
+func (db *Database) relForVar(v string) (*relHandle, error) {
+	rel, ok := db.ranges[strings.ToLower(v)]
+	if !ok {
+		return nil, fmt.Errorf("core: range variable %q is not declared (use `range of %s is <relation>`)", v, v)
+	}
+	return db.handle(rel)
+}
+
+// Relation returns the catalog descriptor for a relation.
+func (db *Database) Relation(name string) (*catalog.Relation, error) {
+	h, err := db.handle(name)
+	if err != nil {
+		return nil, err
+	}
+	return h.desc, nil
+}
+
+// NumPages reports the current size of a relation in pages (Figure 5's
+// space metric).
+func (db *Database) NumPages(name string) (int, error) {
+	h, err := db.handle(name)
+	if err != nil {
+		return 0, err
+	}
+	return h.src.NumPages(), nil
+}
+
+// buffers lists all buffered files of a relation: storage plus indexes.
+func (h *relHandle) buffers() []*buffer.Buffered {
+	bs := h.src.Buffers()
+	for _, ix := range h.indexes {
+		bs = append(bs, ix.Buffers()...)
+	}
+	return bs
+}
+
+// ResetStats zeroes the I/O counters of every relation. The benchmark calls
+// it before each measured query.
+func (db *Database) ResetStats() {
+	for _, h := range db.rels {
+		for _, b := range h.buffers() {
+			b.ResetStats()
+		}
+	}
+}
+
+// InvalidateBuffers empties every relation's buffer frame so the next query
+// starts cold, as each benchmark measurement did.
+func (db *Database) InvalidateBuffers() error {
+	for _, h := range db.rels {
+		for _, b := range h.buffers() {
+			if err := b.Invalidate(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Stats sums the I/O counters over all user relations and their indexes.
+func (db *Database) Stats() buffer.Stats {
+	var s buffer.Stats
+	for _, h := range db.rels {
+		for _, b := range h.buffers() {
+			s = s.Add(b.Stats())
+		}
+	}
+	return s
+}
+
+// RelationStats returns the I/O counters of one relation (storage plus
+// indexes).
+func (db *Database) RelationStats(name string) (buffer.Stats, error) {
+	h, err := db.handle(name)
+	if err != nil {
+		return buffer.Stats{}, err
+	}
+	var s buffer.Stats
+	for _, b := range h.buffers() {
+		s = s.Add(b.Stats())
+	}
+	return s, nil
+}
+
+// Exec parses and executes a sequence of TQuel statements, returning the
+// result of the last retrieve (or a row-count result for DML).
+func (db *Database) Exec(src string) (*Result, error) {
+	stmts, err := tquel.ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) == 0 {
+		return nil, fmt.Errorf("core: empty statement")
+	}
+	var res *Result
+	for _, s := range stmts {
+		res, err = db.ExecStmt(s)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// ExecStmt executes one parsed statement. The result's Input/Output fields
+// report the page I/O the statement performed against user relations,
+// their indexes, and any temporary relations.
+func (db *Database) ExecStmt(stmt tquel.Statement) (*Result, error) {
+	before := db.Stats()
+	res, err := db.execDispatch(stmt)
+	if err != nil {
+		return nil, err
+	}
+	d := db.Stats().Sub(before)
+	res.Input += d.Reads
+	res.Output += d.Writes
+	return res, nil
+}
+
+func (db *Database) execDispatch(stmt tquel.Statement) (*Result, error) {
+	switch s := stmt.(type) {
+	case *tquel.RangeStmt:
+		if _, err := db.handle(s.Rel); err != nil {
+			return nil, err
+		}
+		db.ranges[strings.ToLower(s.Var)] = strings.ToLower(s.Rel)
+		return &Result{}, nil
+	case *tquel.CreateStmt:
+		return db.execCreate(s)
+	case *tquel.ModifyStmt:
+		return db.execModify(s)
+	case *tquel.DestroyStmt:
+		return db.execDestroy(s)
+	case *tquel.IndexStmt:
+		return db.execIndex(s)
+	case *tquel.CopyStmt:
+		return db.execCopy(s)
+	case *tquel.RetrieveStmt:
+		return db.execRetrieve(s)
+	case *tquel.AppendStmt:
+		return db.execAppend(s)
+	case *tquel.DeleteStmt:
+		return db.execDelete(s)
+	case *tquel.ReplaceStmt:
+		return db.execReplace(s)
+	}
+	return nil, fmt.Errorf("core: unsupported statement %T", stmt)
+}
+
+// EnableTwoLevel converts a relation to the two-level store of Section 6.
+// Existing current versions stay in the primary store; existing history
+// versions move to the history store.
+func (db *Database) EnableTwoLevel(name string, clustered bool) error {
+	h, err := db.handle(name)
+	if err != nil {
+		return err
+	}
+	if !h.desc.Type.HasTransactionTime() && !h.desc.Type.HasValidTime() {
+		return fmt.Errorf("core: two-level store needs a versioned relation, %q is static", name)
+	}
+	if _, already := h.src.(*twoLevelSource); already {
+		return fmt.Errorf("core: relation %q already uses a two-level store", name)
+	}
+	return db.convertToTwoLevel(h, clustered)
+}

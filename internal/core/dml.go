@@ -1,0 +1,493 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"tdbms/internal/catalog"
+	"tdbms/internal/page"
+	"tdbms/internal/secindex"
+	"tdbms/internal/temporal"
+	"tdbms/internal/tquel"
+	"tdbms/internal/tuple"
+)
+
+// setTime writes a temporal attribute by schema index.
+func setTime(desc *catalog.Relation, tup []byte, idx int, t temporal.Time) {
+	desc.Schema.SetInt(tup, idx, int64(t))
+}
+
+// validBounds resolves a DML valid clause against the environment, with the
+// Section 4 defaults: valid from "now" to "forever" (interval relations) or
+// valid at "now" (event relations).
+func (db *Database) validBounds(v *tquel.ValidClause, e *env, event bool) (from, to temporal.Time, err error) {
+	now := db.clock.Now()
+	if event {
+		at := now
+		if v != nil {
+			if v.At == nil {
+				return 0, 0, fmt.Errorf("core: event relations take `valid at`, not `valid from/to`")
+			}
+			at, _, err = e.evalTEvent(v.At)
+			if err != nil {
+				return 0, 0, err
+			}
+		}
+		return at, at, nil
+	}
+	from, to = now, temporal.Forever
+	if v != nil {
+		if v.At != nil {
+			return 0, 0, fmt.Errorf("core: interval relations take `valid from ... to ...`, not `valid at`")
+		}
+		if from, _, err = e.evalTEvent(v.From); err != nil {
+			return 0, 0, err
+		}
+		if to, _, err = e.evalTEnd(v.To); err != nil {
+			return 0, 0, err
+		}
+		if from > to {
+			return 0, 0, fmt.Errorf("core: valid interval ends (%s) before it starts (%s)", to, from)
+		}
+	}
+	return from, to, nil
+}
+
+// applyTargets builds a new user-attribute image from a base tuple and a
+// DML target list. Target names must be user attributes.
+func applyTargets(desc *catalog.Relation, base []byte, targets []tquel.Target, e *env) ([]byte, error) {
+	out := make([]byte, len(base))
+	copy(out, base)
+	for _, t := range targets {
+		i := desc.Schema.Index(t.Name)
+		if i < 0 || i >= desc.NumUserAttrs {
+			return nil, fmt.Errorf("core: %s has no user attribute %q (implicit time attributes are set via the valid clause)", desc.Name, t.Name)
+		}
+		v, err := e.evalExpr(t.Expr)
+		if err != nil {
+			return nil, err
+		}
+		if err := desc.Schema.SetValue(out, i, v); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// --- secondary-index maintenance ---
+
+func indexKey(desc *catalog.Relation, ix *secindex.Index, tup []byte) int64 {
+	return desc.Schema.Int(tup, desc.Schema.Index(ix.Config().Attr))
+}
+
+func (h *relHandle) indexInsertCurrent(tup []byte, rid page.RID) error {
+	for _, ix := range h.indexes {
+		if err := ix.Insert(indexKey(h.desc, ix, tup), secindex.TID{RID: rid}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h *relHandle) indexInsertHistory(tup []byte, tid secTID) error {
+	for _, ix := range h.indexes {
+		if err := ix.InsertHistory(indexKey(h.desc, ix, tup), secindex.TID{History: tid.history, RID: tid.rid}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h *relHandle) indexMove(tup []byte, oldRID page.RID, newTID secTID) error {
+	for _, ix := range h.indexes {
+		err := ix.Move(indexKey(h.desc, ix, tup),
+			secindex.TID{RID: oldRID},
+			secindex.TID{History: newTID.history, RID: newTID.rid})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h *relHandle) indexRemove(tup []byte, rid page.RID) error {
+	for _, ix := range h.indexes {
+		if err := ix.Remove(indexKey(h.desc, ix, tup), secindex.TID{RID: rid}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- append ---
+
+func (db *Database) execAppend(s *tquel.AppendStmt) (*Result, error) {
+	h, err := db.handle(s.Rel)
+	if err != nil {
+		return nil, err
+	}
+
+	// An append whose targets or qualification mention range variables is a
+	// query whose result is appended (Quel semantics).
+	seen := map[string]bool{}
+	for _, t := range s.Targets {
+		varsInExpr(t.Expr, seen)
+	}
+	if s.Where != nil {
+		varsInExpr(s.Where, seen)
+	}
+	if s.When != nil {
+		varsInTExpr(s.When, seen)
+	}
+
+	if len(seen) == 0 {
+		e := &env{vars: map[string]*binding{}, now: int64(db.clock.Now())}
+		n, err := db.appendRow(h, s.Targets, s.Valid, e)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Affected: n}, nil
+	}
+
+	// Run the embedded retrieve, then append each row.
+	sub := &tquel.RetrieveStmt{Targets: s.Targets, Where: s.Where, When: s.When, Valid: s.Valid}
+	res, err := db.execRetrieve(sub)
+	if err != nil {
+		return nil, err
+	}
+	affected := 0
+	e := &env{vars: map[string]*binding{}, now: int64(db.clock.Now())}
+	for _, row := range res.Rows {
+		vals := map[string]tuple.Value{}
+		for i, t := range s.Targets {
+			vals[strings.ToLower(t.Name)] = row[i]
+		}
+		// The sub-retrieve computed result validity in its last columns.
+		var iv *temporal.Interval
+		if len(row) == len(s.Targets)+2 {
+			iv = &temporal.Interval{
+				From: temporal.Time(row[len(row)-2].I),
+				To:   temporal.Time(row[len(row)-1].I),
+			}
+		}
+		n, err := db.appendConstRow(h, vals, iv, e)
+		if err != nil {
+			return nil, err
+		}
+		affected += n
+	}
+	return &Result{Affected: affected, Input: res.Input, Output: res.Output}, nil
+}
+
+// appendRow inserts one tuple built from constant targets.
+func (db *Database) appendRow(h *relHandle, targets []tquel.Target, valid *tquel.ValidClause, e *env) (int, error) {
+	desc := h.desc
+	tup := desc.Schema.NewTuple()
+	base, err := applyTargets(desc, tup, targets, e)
+	if err != nil {
+		return 0, err
+	}
+	return db.insertNew(h, base, valid, e)
+}
+
+// appendConstRow inserts one tuple from pre-evaluated values.
+func (db *Database) appendConstRow(h *relHandle, vals map[string]tuple.Value, iv *temporal.Interval, e *env) (int, error) {
+	desc := h.desc
+	tup := desc.Schema.NewTuple()
+	for name, v := range vals {
+		i := desc.Schema.Index(name)
+		if i < 0 || i >= desc.NumUserAttrs {
+			return 0, fmt.Errorf("core: %s has no user attribute %q", desc.Name, name)
+		}
+		if err := desc.Schema.SetValue(tup, i, v); err != nil {
+			return 0, err
+		}
+	}
+	var valid *tquel.ValidClause
+	if iv != nil && desc.VF >= 0 {
+		if desc.Model == catalog.ModelEvent {
+			valid = &tquel.ValidClause{At: &tquel.TConst{Text: temporal.Format(iv.From, temporal.Second)}}
+		} else {
+			valid = &tquel.ValidClause{
+				From: &tquel.TConst{Text: temporal.Format(iv.From, temporal.Second)},
+				To:   &tquel.TConst{Text: temporal.Format(iv.To, temporal.Second)},
+			}
+		}
+		// "forever" formats as its own keyword and re-parses exactly.
+	}
+	return db.insertNew(h, tup, valid, e)
+}
+
+// insertNew stamps the implicit time attributes of a fresh version
+// (Section 4: transaction start = now, transaction stop = forever, valid
+// bounds from the valid clause or defaults) and inserts it as current.
+func (db *Database) insertNew(h *relHandle, tup []byte, valid *tquel.ValidClause, e *env) (int, error) {
+	desc := h.desc
+	now := db.clock.Now()
+	if desc.TS >= 0 {
+		setTime(desc, tup, desc.TS, now)
+		setTime(desc, tup, desc.TE, temporal.Forever)
+	}
+	if desc.VF >= 0 {
+		from, to, err := db.validBounds(valid, e, desc.Model == catalog.ModelEvent)
+		if err != nil {
+			return 0, err
+		}
+		setTime(desc, tup, desc.VF, from)
+		if desc.Model == catalog.ModelInterval {
+			setTime(desc, tup, desc.VT, to)
+		}
+	} else if valid != nil {
+		return 0, fmt.Errorf("core: %s relation %s takes no valid clause", desc.Type, desc.Name)
+	}
+	rid, err := h.src.InsertCurrent(tup)
+	if err != nil {
+		return 0, err
+	}
+	if err := h.indexInsertCurrent(tup, rid); err != nil {
+		return 0, err
+	}
+	return 1, nil
+}
+
+// --- delete / replace ---
+
+// candidate is a current version selected by a DML qualification.
+type candidate struct {
+	rid page.RID
+	tup []byte
+}
+
+// dmlCandidates materializes the current versions of v's relation matching
+// the where/when qualification. Materializing first keeps the subsequent
+// inserts from being rescanned (the classic Halloween problem).
+func (db *Database) dmlCandidates(v string, where tquel.Expr, when tquel.TExpr) (*query, []candidate, error) {
+	h, err := db.relForVar(v)
+	if err != nil {
+		return nil, nil, err
+	}
+	probe := &tquel.RetrieveStmt{
+		Targets: []tquel.Target{{Name: "x", Expr: &tquel.AttrExpr{Var: v, Attr: h.desc.Schema.Attr(0).Name}}},
+		Where:   where,
+		When:    when,
+	}
+	q, err := db.analyze(probe)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(q.vars) != 1 || q.vars[0] != v {
+		return nil, nil, fmt.Errorf("core: delete/replace qualification must reference only %q", v)
+	}
+	// DML touches current versions only; let a two-level store use its
+	// primary store directly.
+	q.qv[v].currentOnly = true
+	var cands []candidate
+	err = q.scanVar(v, func(rid page.RID, tup []byte) error {
+		if !isCurrentTuple(h.desc, tup) {
+			return nil
+		}
+		cands = append(cands, candidate{rid: rid, tup: tup})
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return q, cands, nil
+}
+
+func (db *Database) execDelete(s *tquel.DeleteStmt) (*Result, error) {
+	h, err := db.relForVar(s.Var)
+	if err != nil {
+		return nil, err
+	}
+	_, cands, err := db.dmlCandidates(s.Var, s.Where, s.When)
+	if err != nil {
+		return nil, err
+	}
+	now := db.clock.Now()
+	for _, c := range cands {
+		if err := db.deleteVersion(h, c, now); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: len(cands)}, nil
+}
+
+// resolveCandidate re-locates a candidate whose tuple may have moved since
+// collection: B-tree leaf splits relocate tuples, so the address is found
+// again by probing for the bytewise-identical version. The other access
+// methods never move tuples.
+func (db *Database) resolveCandidate(h *relHandle, c candidate) (candidate, error) {
+	if h.desc.Method.StableRIDs() {
+		return c, nil
+	}
+	key, err := keyFor(h.desc, h.desc.KeyAttr)
+	if err != nil {
+		return c, err
+	}
+	it := h.src.ProbeAll(key.Extract(c.tup))
+	for {
+		rid, tup, ok, err := it.Next()
+		if err != nil {
+			return c, err
+		}
+		if !ok {
+			return c, fmt.Errorf("core: %s: version to update vanished (concurrent structure change?)", h.desc.Name)
+		}
+		if string(tup) == string(c.tup) {
+			return candidate{rid: rid, tup: c.tup}, nil
+		}
+	}
+}
+
+// deleteVersion applies the type-specific delete of Section 4 to one
+// current version.
+func (db *Database) deleteVersion(h *relHandle, c candidate, now temporal.Time) error {
+	desc := h.desc
+	c, err := db.resolveCandidate(h, c)
+	if err != nil {
+		return err
+	}
+	switch desc.Type {
+	case catalog.Static:
+		if err := h.src.RemoveCurrent(c.rid); err != nil {
+			return err
+		}
+		return h.indexRemove(c.tup, c.rid)
+
+	case catalog.Rollback:
+		closed := append([]byte(nil), c.tup...)
+		setTime(desc, closed, desc.TE, now)
+		tid, err := h.src.Supersede(c.rid, closed)
+		if err != nil {
+			return err
+		}
+		return h.indexMove(closed, c.rid, tid)
+
+	case catalog.Historical:
+		if desc.Model == catalog.ModelEvent {
+			// An event cannot stop being valid; deleting it is error
+			// correction and removes it outright.
+			if err := h.src.RemoveCurrent(c.rid); err != nil {
+				return err
+			}
+			return h.indexRemove(c.tup, c.rid)
+		}
+		closed := append([]byte(nil), c.tup...)
+		setTime(desc, closed, desc.VT, now)
+		tid, err := h.src.Supersede(c.rid, closed)
+		if err != nil {
+			return err
+		}
+		return h.indexMove(closed, c.rid, tid)
+
+	case catalog.Temporal:
+		// Close the version in transaction time...
+		closed := append([]byte(nil), c.tup...)
+		setTime(desc, closed, desc.TE, now)
+		tid, err := h.src.Supersede(c.rid, closed)
+		if err != nil {
+			return err
+		}
+		if err := h.indexMove(closed, c.rid, tid); err != nil {
+			return err
+		}
+		if desc.Model == catalog.ModelInterval {
+			// ... and insert the marker recording that validity ended now
+			// ("a new version with the updated valid to attribute").
+			marker := append([]byte(nil), c.tup...)
+			setTime(desc, marker, desc.TS, now)
+			setTime(desc, marker, desc.TE, temporal.Forever)
+			setTime(desc, marker, desc.VT, now)
+			mtid, err := h.src.InsertHistory(marker)
+			if err != nil {
+				return err
+			}
+			return h.indexInsertHistory(marker, mtid)
+		}
+		return nil
+	}
+	return fmt.Errorf("core: unknown relation type %v", desc.Type)
+}
+
+func (db *Database) execReplace(s *tquel.ReplaceStmt) (*Result, error) {
+	h, err := db.relForVar(s.Var)
+	if err != nil {
+		return nil, err
+	}
+	q, cands, err := db.dmlCandidates(s.Var, s.Where, s.When)
+	if err != nil {
+		return nil, err
+	}
+	desc := h.desc
+	now := db.clock.Now()
+	b := q.env.vars[s.Var]
+	for _, c := range cands {
+		b.tup = c.tup // targets may reference the old version (seq = h.seq + 1)
+		newUser, err := applyTargets(desc, c.tup, s.Targets, q.env)
+		if err != nil {
+			return nil, err
+		}
+
+		switch desc.Type {
+		case catalog.Static:
+			c, err := db.resolveCandidate(h, c)
+			if err != nil {
+				return nil, err
+			}
+			if err := h.src.UpdateCurrent(c.rid, newUser); err != nil {
+				return nil, err
+			}
+			if err := h.indexRemove(c.tup, c.rid); err != nil {
+				return nil, err
+			}
+			if err := h.indexInsertCurrent(newUser, c.rid); err != nil {
+				return nil, err
+			}
+			continue
+
+		case catalog.Historical:
+			if desc.Model == catalog.ModelEvent {
+				// Error correction in place, optionally re-dating the event.
+				if s.Valid != nil {
+					at, _, err := db.validBounds(s.Valid, q.env, true)
+					if err != nil {
+						return nil, err
+					}
+					setTime(desc, newUser, desc.VF, at)
+				}
+				c, err := db.resolveCandidate(h, c)
+				if err != nil {
+					return nil, err
+				}
+				if err := h.src.UpdateCurrent(c.rid, newUser); err != nil {
+					return nil, err
+				}
+				if err := h.indexRemove(c.tup, c.rid); err != nil {
+					return nil, err
+				}
+				if err := h.indexInsertCurrent(newUser, c.rid); err != nil {
+					return nil, err
+				}
+				continue
+			}
+		}
+
+		// Versioned replace: delete the old version, then append the new.
+		if err := db.deleteVersion(h, c, now); err != nil {
+			return nil, err
+		}
+		valid := s.Valid
+		if valid == nil && desc.Type == catalog.Temporal && desc.Model == catalog.ModelEvent {
+			// A replaced event keeps its original occurrence time unless
+			// the valid clause re-dates it.
+			at := temporal.Time(desc.Schema.Int(c.tup, desc.VF))
+			valid = &tquel.ValidClause{At: &tquel.TConst{Text: temporal.Format(at, temporal.Second)}}
+		}
+		if _, err := db.insertNew(h, newUser, valid, q.env); err != nil {
+			return nil, err
+		}
+	}
+	b.tup = nil
+	return &Result{Affected: len(cands)}, nil
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"tdbms/internal/tuple"
+)
+
+// loadBenchRelation fills a temporal relation shaped like the paper's
+// benchmark relation (1024 tuples, hashed or isam on id) and evolves it.
+func loadBenchRelation(t *testing.T, db *Database, name, method string, tuples, updates int) {
+	t.Helper()
+	mustExec(t, db, fmt.Sprintf(
+		`create persistent interval %s (id = i4, amount = i4, seq = i4, string = c96)`, name))
+	rows := make([][]tuple.Value, tuples)
+	for i := range rows {
+		rows[i] = []tuple.Value{
+			tuple.IntValue(int64(i + 1)),
+			tuple.IntValue(int64(i) * 100),
+			tuple.IntValue(0),
+			tuple.StrValue("payload"),
+		}
+	}
+	if _, err := db.Load(name, rows); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, fmt.Sprintf(`modify %s to %s on id where fillfactor = 100`, name, method))
+	mustExec(t, db, fmt.Sprintf(`range of uv_%s is %s`, name, name))
+	for u := 0; u < updates; u++ {
+		db.Clock().Advance(3600)
+		mustExec(t, db, fmt.Sprintf(`replace uv_%s (seq = uv_%s.seq + 1)`, name, name))
+	}
+	db.Clock().Advance(3600)
+}
+
+func TestTwoLevelStoreStaticQueriesConstant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	// Figure 10: with the two-level store, Q05's cost stays 1 page and
+	// Q07's stays 129 pages at update count 14.
+	db := newDB(t)
+	loadBenchRelation(t, db, "r", "hash", 1024, 14)
+	mustExec(t, db, `range of x is r`)
+
+	// Conventional UC14: hashed access costs 29 (Q05 column of Figure 6).
+	db.InvalidateBuffers()
+	res := mustExec(t, db, `retrieve (x.seq) where x.id = 500 when x overlap "now"`)
+	if res.Input != 29 {
+		t.Errorf("conventional Q05 at UC14: %d pages, want 29", res.Input)
+	}
+
+	if err := db.EnableTwoLevel("r", false); err != nil {
+		t.Fatal(err)
+	}
+
+	db.InvalidateBuffers()
+	res = mustExec(t, db, `retrieve (x.seq) where x.id = 500 when x overlap "now"`)
+	if res.Input != 1 {
+		t.Errorf("two-level Q05 at UC14: %d pages, want 1", res.Input)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 14 {
+		t.Fatalf("Q05 rows: %v", res.Rows)
+	}
+
+	db.InvalidateBuffers()
+	res = mustExec(t, db, `retrieve (x.seq) where x.amount = 20000 when x overlap "now"`)
+	if res.Input != 129 {
+		t.Errorf("two-level Q07 at UC14: %d pages, want 129", res.Input)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("Q07 rows: %v", res.Rows)
+	}
+
+	// Version scan still sees every version as of now (1 current + 14
+	// markers) and costs primary probe + one page per history version
+	// fetched through the chain.
+	db.InvalidateBuffers()
+	res = mustExec(t, db, `retrieve (x.seq) where x.id = 500`)
+	if len(res.Rows) != 15 {
+		t.Fatalf("version scan rows: %d, want 15", len(res.Rows))
+	}
+
+	// Rollback query touches history and still answers correctly: 00:30 is
+	// before the first update round (01:00), so the original version shows.
+	db.InvalidateBuffers()
+	res = mustExec(t, db, `retrieve (x.seq) where x.id = 500 as of "00:30 1/1/80" when x overlap "now"`)
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 0 {
+		t.Fatalf("as-of on two-level store: %v", res.Rows)
+	}
+}
+
+func TestTwoLevelClusteredVersionScan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	// Figure 10, Clustered column: Q01 costs 5 pages at UC 14 (1 primary +
+	// ceil(28/8)=4 history pages).
+	db := newDB(t)
+	loadBenchRelation(t, db, "r", "hash", 1024, 14)
+	if err := db.EnableTwoLevel("r", true); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, `range of x is r`)
+	db.InvalidateBuffers()
+	res := mustExec(t, db, `retrieve (x.seq) where x.id = 500`)
+	if res.Input != 5 {
+		t.Errorf("clustered version scan: %d pages, want 5", res.Input)
+	}
+	// 1 current + 14 markers visible as of now; the 14 closed versions are
+	// rolled-back states, also in history but filtered by the default slice.
+	if len(res.Rows) != 15 {
+		t.Fatalf("rows: %d, want 15", len(res.Rows))
+	}
+}
+
+func TestTwoLevelDMLContinues(t *testing.T) {
+	// DML after conversion keeps the invariants: current stays in primary.
+	db := newDB(t)
+	loadBenchRelation(t, db, "r", "hash", 64, 2)
+	if err := db.EnableTwoLevel("r", false); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, `range of x is r`)
+	db.Clock().Advance(100)
+	mustExec(t, db, `replace x (seq = x.seq + 1) where x.id = 5`)
+	db.Clock().Advance(100)
+	res := mustExec(t, db, `retrieve (x.seq) where x.id = 5 when x overlap "now"`)
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 3 {
+		t.Fatalf("rows after two-level replace: %v", res.Rows)
+	}
+	// Version count grows by 2 per temporal replace: 3 updates -> 7 as-of-now.
+	res = mustExec(t, db, `retrieve (x.seq) where x.id = 5`)
+	if len(res.Rows) != 4 {
+		t.Fatalf("version rows: %d, want 4 (3 markers + current)", len(res.Rows))
+	}
+
+	db.Clock().Advance(100)
+	mustExec(t, db, `delete x where x.id = 5`)
+	db.Clock().Advance(100)
+	res = mustExec(t, db, `retrieve (x.seq) where x.id = 5 when x overlap "now"`)
+	if len(res.Rows) != 0 {
+		t.Fatalf("rows after delete: %v", res.Rows)
+	}
+
+	if _, err := db.Exec(`modify r to isam on id`); err == nil {
+		t.Error("modify on a two-level relation succeeded")
+	}
+	if err := db.EnableTwoLevel("r", false); err == nil {
+		t.Error("double conversion succeeded")
+	}
+}
+
+func TestSecondaryIndexCosts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	// Figure 10's index columns at update count 14, over the simple
+	// two-level store, probing amount = 20000 (one matching tuple):
+	//
+	//   1-level heap:  295 index pages + 29 data pages = 324
+	//   1-level hash:    1 index page  + 29 data pages =  30
+	//   2-level heap:   11 index pages +  1 data page  =  12
+	//   2-level hash:    1 index page  +  1 data page  =   2
+	db := newDB(t)
+	loadBenchRelation(t, db, "r", "hash", 1024, 14)
+	if err := db.EnableTwoLevel("r", false); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, `range of x is r`)
+
+	cases := []struct {
+		stmt string
+		want int64
+	}{
+		{`index on r is ix1 (amount) with structure = heap with levels = 1`, 324},
+		{`index on r is ix2 (amount) with structure = hash with levels = 1`, 30},
+		{`index on r is ix3 (amount) with structure = heap with levels = 2`, 12},
+		{`index on r is ix4 (amount) with structure = hash with levels = 2`, 2},
+	}
+	for _, c := range cases {
+		db2 := newDB(t)
+		loadBenchRelation(t, db2, "r", "hash", 1024, 14)
+		if err := db2.EnableTwoLevel("r", false); err != nil {
+			t.Fatal(err)
+		}
+		mustExec(t, db2, `range of x is r`)
+		mustExec(t, db2, c.stmt)
+		db2.InvalidateBuffers()
+		res := mustExec(t, db2, `retrieve (x.seq) where x.amount = 20000 when x overlap "now"`)
+		if len(res.Rows) != 1 {
+			t.Fatalf("%s: rows %v", c.stmt, res.Rows)
+		}
+		if res.Input != c.want {
+			t.Errorf("%s: cost %d pages, want %d", c.stmt, res.Input, c.want)
+		}
+	}
+}
+
+func TestIndexMaintainedByDML(t *testing.T) {
+	db := newDB(t)
+	mustExec(t, db, `create persistent interval r (id = i4, amount = i4)`)
+	mustExec(t, db, `range of x is r`)
+	mustExec(t, db, `index on r is amt (amount) with structure = hash with levels = 2`)
+	mustExec(t, db, `append to r (id = 1, amount = 700)`)
+	db.Clock().Advance(10)
+	mustExec(t, db, `replace x (amount = 800) where x.id = 1`)
+	db.Clock().Advance(10)
+
+	res := mustExec(t, db, `retrieve (x.id) where x.amount = 800 when x overlap "now"`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("index after replace: %v", res.Rows)
+	}
+	res = mustExec(t, db, `retrieve (x.id) where x.amount = 700 when x overlap "now"`)
+	if len(res.Rows) != 0 {
+		t.Fatalf("stale index entry: %v", res.Rows)
+	}
+	// All versions with the old amount remain reachable without the
+	// current-only restriction (1-level probe through both index levels).
+	res = mustExec(t, db, `retrieve (x.id) where x.amount = 700`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("history via index: %v", res.Rows)
+	}
+}
+
+func TestIndexOnStaticRelation(t *testing.T) {
+	db := newDB(t)
+	mustExec(t, db, `create r (id = i4, amount = i4)`)
+	mustExec(t, db, `range of x is r`)
+	for i := 0; i < 300; i++ {
+		mustExec(t, db, fmt.Sprintf(`append to r (id = %d, amount = %d)`, i, i%7))
+	}
+	mustExec(t, db, `index on r is amt (amount) with structure = hash`)
+	res := mustExec(t, db, `retrieve (x.id) where x.amount = 3`)
+	if len(res.Rows) != 43 {
+		t.Fatalf("index scan rows: %d", len(res.Rows))
+	}
+	mustExec(t, db, `delete x where x.id = 3`)
+	res = mustExec(t, db, `retrieve (x.id) where x.amount = 3`)
+	if len(res.Rows) != 42 {
+		t.Fatalf("after delete: %d", len(res.Rows))
+	}
+	if _, err := db.Exec(`index on r is amt (amount)`); err == nil {
+		t.Error("duplicate index name succeeded")
+	}
+	if _, err := db.Exec(`index on r is ix2 (nosuch)`); err == nil {
+		t.Error("index on missing attribute succeeded")
+	}
+	if _, err := db.Exec(`modify r to hash on id`); err == nil {
+		t.Error("modify with live index succeeded")
+	}
+}
+
+func TestDestroyIndex(t *testing.T) {
+	db := newDB(t)
+	mustExec(t, db, `create r (id = i4, amount = i4)
+	                 range of x is r`)
+	for i := 0; i < 50; i++ {
+		mustExec(t, db, fmt.Sprintf(`append to r (id = %d, amount = %d)`, i, i%5))
+	}
+	mustExec(t, db, `index on r is amt (amount) with structure = hash`)
+	res := mustExec(t, db, `retrieve (x.id) where x.amount = 2`)
+	if len(res.Rows) != 10 {
+		t.Fatalf("indexed rows: %d", len(res.Rows))
+	}
+	mustExec(t, db, `destroy amt`)
+	// The query still answers (by scan), and the index can be re-created.
+	res = mustExec(t, db, `retrieve (x.id) where x.amount = 2`)
+	if len(res.Rows) != 10 {
+		t.Fatalf("post-destroy rows: %d", len(res.Rows))
+	}
+	mustExec(t, db, `index on r is amt (amount) with structure = heap`)
+	if _, err := db.Exec(`destroy nosuch`); err == nil {
+		t.Error("destroy of a missing object succeeded")
+	}
+	// Modify works again once the index is gone.
+	mustExec(t, db, `destroy amt`)
+	mustExec(t, db, `modify r to hash on id where fillfactor = 100`)
+}

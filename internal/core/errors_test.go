@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"tdbms/internal/temporal"
+)
+
+func TestCopyErrors(t *testing.T) {
+	db := newDB(t)
+	mustExec(t, db, `create persistent r (id = i4, name = c8)`)
+	dir := t.TempDir()
+
+	if _, err := db.Exec(fmt.Sprintf(`copy r () from %q`, filepath.Join(dir, "missing.tsv"))); err == nil {
+		t.Error("copy from a missing file succeeded")
+	}
+
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	// Wrong field count.
+	if _, err := db.Exec(fmt.Sprintf(`copy r () from %q`, write("narrow.tsv", "1\n"))); err == nil {
+		t.Error("copy with missing fields succeeded")
+	}
+	// Bad integer.
+	if _, err := db.Exec(fmt.Sprintf(`copy r () from %q`, write("bad.tsv", "x\tname\n"))); err == nil {
+		t.Error("copy with a bad integer succeeded")
+	}
+	// Bad time attribute in a full-schema line.
+	bad := "1\tok\tnot-a-time\tforever\n"
+	if _, err := db.Exec(fmt.Sprintf(`copy r () from %q`, write("badtime.tsv", bad))); err == nil {
+		t.Error("copy with a bad time succeeded")
+	}
+	// Blank lines are skipped; valid user-attr lines load with defaults.
+	good := "\n1\tann\n\n2\tbob\n"
+	r := mustExec(t, db, fmt.Sprintf(`copy r () from %q`, write("good.tsv", good)))
+	if r.Affected != 2 {
+		t.Errorf("loaded %d rows, want 2", r.Affected)
+	}
+	// copy into a bad path.
+	if _, err := db.Exec(`copy r () into "/nonexistent-dir/out.tsv"`); err == nil {
+		t.Error("copy into an unwritable path succeeded")
+	}
+}
+
+func TestExpressionErrors(t *testing.T) {
+	db := newDB(t)
+	mustExec(t, db, `create r (a = i4, s = c8)
+	                 range of x is r
+	                 append to r (a = 4, s = "hi")`)
+	bad := []string{
+		`retrieve (v = x.a / 0)`,
+		`retrieve (v = x.s + 1)`,         // arithmetic on strings
+		`retrieve (v = -x.s)`,            // negate a string
+		`retrieve (x.a) where x.a = x.s`, // numeric/string comparison
+		`retrieve (x.a) where x.a + 1`,   // value used as predicate
+		`retrieve (v = (x.a = 1))`,       // predicate used as value
+		`retrieve (x.nosuch)`,            // unknown attribute
+		`retrieve (x.a) when x overlap "not a date"`,
+		`retrieve (x.a) as of "now" through "1/1/79"`, // backwards range
+	}
+	for _, src := range bad {
+		if _, err := db.Exec(src); err == nil {
+			t.Errorf("Exec(%q) succeeded", src)
+		}
+	}
+}
+
+func TestDMLValidation(t *testing.T) {
+	db := newDB(t)
+	mustExec(t, db, `create persistent interval r (a = i4)
+	                 create s (b = i4)
+	                 range of x is r
+	                 range of y is s`)
+	mustExec(t, db, `append to r (a = 1)`)
+	bad := []string{
+		`append to r (nosuch = 1)`,
+		`append to r (valid_from = 1)`,                        // implicit attr via target
+		`append to r (a = 1) valid from "2/1/80" to "1/1/80"`, // backwards
+		`replace x (a = 2) where y.b = 1`,                     // foreign variable
+		`delete x where y.b = 1`,                              // foreign variable
+		`append to s (b = 1) valid at "now"`,                  // valid on static
+		`replace z (a = 1)`,                                   // undeclared variable
+	}
+	for _, src := range bad {
+		if _, err := db.Exec(src); err == nil {
+			t.Errorf("Exec(%q) succeeded", src)
+		}
+	}
+}
+
+func TestDMLWithWhenClause(t *testing.T) {
+	// The paper: "The append, delete, and replace statements were augmented
+	// with the valid and the when clauses."
+	db := newDB(t)
+	mustExec(t, db, `create persistent interval job (emp = i4, title = c8)
+	                 range of j is job`)
+	mustExec(t, db, `append to job (emp = 1, title = "a") valid from "1/1/80" to "forever"`)
+	mustExec(t, db, `append to job (emp = 2, title = "b") valid from "6/1/80" to "forever"`)
+	db.Clock().Advance(1000)
+
+	// Delete only versions whose validity overlaps a probe instant.
+	r := mustExec(t, db, `delete j when j overlap "3/1/80"`)
+	if r.Affected != 1 {
+		t.Fatalf("when-delete affected %d", r.Affected)
+	}
+	// Move past the survivor's valid-from (June 1980) before asking "now".
+	db.Clock().Set(temporal.Date(1980, 7, 1, 0, 0, 0))
+	r = mustExec(t, db, `retrieve (j.emp) when j overlap "now"`)
+	if len(r.Rows) != 1 || r.Rows[0][0].I != 2 {
+		t.Fatalf("survivors: %v", r.Rows)
+	}
+}
+
+func TestTemporalEventRelation(t *testing.T) {
+	// A temporal event relation: transaction time plus a single occurrence
+	// instant.
+	db := newDB(t)
+	mustExec(t, db, `create persistent event obs (station = i4, reading = i4)
+	                 range of o is obs`)
+	mustExec(t, db, `append to obs (station = 7, reading = 40) valid at "06:00 1/1/80"`)
+	db.Clock().Advance(100)
+
+	// The reading is later found to be wrong: replace keeps the occurrence
+	// time but versions the correction in transaction time.
+	mustExec(t, db, `replace o (reading = 42) where o.station = 7`)
+	db.Clock().Advance(100)
+
+	r := mustExec(t, db, `retrieve (o.reading) when o overlap "06:00 1/1/80"`)
+	if len(r.Rows) != 1 || r.Rows[0][0].I != 42 {
+		t.Fatalf("corrected reading: %v", r.Rows)
+	}
+	// Rolling back shows the value the database held before the fix.
+	r = mustExec(t, db, `retrieve (o.reading) as of "00:00:50 1/1/80" when o overlap "06:00 1/1/80"`)
+	if len(r.Rows) != 1 || r.Rows[0][0].I != 40 {
+		t.Fatalf("pre-correction reading: %v", r.Rows)
+	}
+	// Events occupy one chronon: a different instant finds nothing.
+	r = mustExec(t, db, `retrieve (o.reading) when o overlap "07:00 1/1/80"`)
+	if len(r.Rows) != 0 {
+		t.Fatalf("event leaked to a later instant: %v", r.Rows)
+	}
+}
+
+// TestBtreeDMLStress interleaves appends, replaces, and deletes on a B-tree
+// temporal relation (forcing leaf splits between candidate collection and
+// mutation) and cross-checks the current state against a shadow model.
+func TestBtreeDMLStress(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := MustOpen(Options{Now: epoch})
+		if _, err := db.Exec(`create persistent interval r (id = i4, v = i4, pad = c64)
+		                      range of x is r`); err != nil {
+			return false
+		}
+		if _, err := db.Exec(`modify r to btree on id`); err != nil {
+			return false
+		}
+		model := map[int]int{}
+		nextID := 1
+		for step := 0; step < 150; step++ {
+			db.Clock().Advance(10)
+			switch rng.Intn(4) {
+			case 0, 1: // append a new tuple
+				id := nextID
+				nextID++
+				v := rng.Intn(1000)
+				if _, err := db.Exec(fmt.Sprintf(`append to r (id = %d, v = %d, pad = "p")`, id, v)); err != nil {
+					return false
+				}
+				model[id] = v
+			case 2: // replace a random live tuple
+				if len(model) == 0 {
+					continue
+				}
+				for id := range model {
+					v := rng.Intn(1000)
+					if _, err := db.Exec(fmt.Sprintf(`replace x (v = %d) where x.id = %d`, v, id)); err != nil {
+						return false
+					}
+					model[id] = v
+					break
+				}
+			case 3: // delete a random live tuple
+				if len(model) == 0 {
+					continue
+				}
+				for id := range model {
+					if _, err := db.Exec(fmt.Sprintf(`delete x where x.id = %d`, id)); err != nil {
+						return false
+					}
+					delete(model, id)
+					break
+				}
+			}
+		}
+		db.Clock().Advance(10)
+		res, err := db.Exec(`retrieve (x.id, x.v) when x overlap "now"`)
+		if err != nil {
+			return false
+		}
+		if len(res.Rows) != len(model) {
+			return false
+		}
+		for _, row := range res.Rows {
+			if model[int(row[0].I)] != int(row[1].I) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func explainDB(t *testing.T) *Database {
+	t.Helper()
+	db := newDB(t)
+	mustExec(t, db, `create persistent interval h (id = i4, amount = i4)
+	                 create persistent interval i (id = i4, amount = i4)`)
+	for k := 1; k <= 64; k++ {
+		mustExec(t, db, `append to h (id = `+itoa(k)+`, amount = `+itoa(k*100)+`)`)
+		mustExec(t, db, `append to i (id = `+itoa(k)+`, amount = `+itoa(k*100)+`)`)
+	}
+	mustExec(t, db, `modify h to hash on id where fillfactor = 100
+	                 modify i to isam on id where fillfactor = 100
+	                 range of h is h
+	                 range of i is i`)
+	return db
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestExplainAccessPaths(t *testing.T) {
+	db := explainDB(t)
+	cases := []struct {
+		query string
+		want  []string
+	}{
+		{`retrieve (h.id) where h.id = 5`, []string{"hashed access, id = 5"}},
+		{`retrieve (i.id) where i.id = 5`, []string{"ISAM access, id = 5"}},
+		{`retrieve (i.id) where i.id > 5 and i.id < 9`, []string{"range probe, id in [6, 8]"}},
+		{`retrieve (h.id) where h.id > 5`, []string{"sequential scan"}}, // hash: no order
+		{`retrieve (h.amount) where h.amount = 300`, []string{"sequential scan"}},
+		{`retrieve (h.id, i.id) where h.id = i.amount`,
+			[]string{"tuple substitution", "detach i", "probe h"}},
+		{`retrieve (h.id, i.id) where h.amount = 100 and i.amount = 200 when h overlap i`,
+			[]string{"detach both variables"}},
+		{`retrieve (h.id, i.id) when h overlap i`,
+			[]string{"nested sequential scan"}},
+		{`retrieve (h.id) as of "02:00 1/1/80"`, []string{`as of 02:00:00 1/1/1980`}},
+		{`retrieve (h.id) when h overlap "now"`, []string{"current versions only"}},
+	}
+	for _, c := range cases {
+		plan, err := db.Explain(c.query)
+		if err != nil {
+			t.Fatalf("%s: %v", c.query, err)
+		}
+		for _, want := range c.want {
+			if !strings.Contains(plan, want) {
+				t.Errorf("Explain(%s):\n%s\nmissing %q", c.query, plan, want)
+			}
+		}
+	}
+}
+
+func TestExplainIndexPath(t *testing.T) {
+	db := explainDB(t)
+	mustExec(t, db, `index on h is h_amt (amount) with structure = hash with levels = 2`)
+	plan, err := db.Explain(`retrieve (h.id) where h.amount = 300`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "secondary index h_amt (2-level hash) on amount = 300") {
+		t.Errorf("plan:\n%s", plan)
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	db := explainDB(t)
+	if _, err := db.Explain(`append to h (id = 1)`); err == nil {
+		t.Error("explain of DML succeeded")
+	}
+	if _, err := db.Explain(`retrieve (z.q)`); err == nil {
+		t.Error("explain of a bad query succeeded")
+	}
+	if _, err := db.Explain(`not even tquel`); err == nil {
+		t.Error("explain of garbage succeeded")
+	}
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tdbms/internal/btree"
+	"tdbms/internal/catalog"
+	"tdbms/internal/hashfile"
+	"tdbms/internal/heapfile"
+	"tdbms/internal/isam"
+	"tdbms/internal/secindex"
+	"tdbms/internal/temporal"
+	"tdbms/internal/tquel"
+	"tdbms/internal/tuple"
+)
+
+// Disk-backed databases persist the system catalog to <dir>/catalog.json so
+// a later Open can reattach the page files. The prototype kept its catalog
+// in (modified) Ingres system relations; a JSON sidecar keeps this
+// implementation honest without reimplementing bootstrap relations.
+//
+// Secondary indexes and two-level stores keep part of their state in memory
+// (the hash directory, the version chains) and are not persisted; they are
+// rebuilt with `index on` / EnableTwoLevel after reopening. Close (or
+// Checkpoint) must run before the process exits for B-tree root metadata to
+// be durable.
+
+const catalogFile = "catalog.json"
+
+type savedAttr struct {
+	Name string `json:"name"`
+	Kind int    `json:"kind"`
+	Len  int    `json:"len,omitempty"`
+}
+
+type savedRelation struct {
+	Name       string      `json:"name"`
+	Type       int         `json:"type"`
+	Model      int         `json:"model"`
+	Attrs      []savedAttr `json:"attrs"`
+	Method     string      `json:"method"`
+	KeyAttr    string      `json:"keyAttr,omitempty"`
+	Fillfactor int         `json:"fillfactor"`
+
+	Hash  *hashfile.Meta `json:"hash,omitempty"`
+	Isam  *isam.Meta     `json:"isam,omitempty"`
+	Btree *btree.Meta    `json:"btree,omitempty"`
+
+	// Secondary indexes are persisted as definitions and rebuilt by a scan
+	// at open (their hash directories live in memory).
+	Indexes []savedIndex `json:"indexes,omitempty"`
+}
+
+type savedIndex struct {
+	Name      string `json:"name"`
+	Attr      string `json:"attr"`
+	Structure string `json:"structure"`
+	Levels    int    `json:"levels"`
+}
+
+type savedCatalog struct {
+	Version   int             `json:"version"`
+	Now       int64           `json:"now"`
+	Relations []savedRelation `json:"relations"`
+}
+
+// saveCatalog writes the catalog sidecar; a no-op for in-memory databases.
+func (db *Database) saveCatalog() error {
+	if db.opts.Dir == "" {
+		return nil
+	}
+	sc := savedCatalog{Version: 1, Now: int64(db.clock.Now())}
+	for _, name := range db.cat.List() {
+		h, err := db.handle(name)
+		if err != nil {
+			return err
+		}
+		conv, ok := h.src.(*conventional)
+		if !ok {
+			// Two-level stores hold in-memory version chains; they are a
+			// run-time acceleration, not a persistent format.
+			return fmt.Errorf("core: relation %s uses a two-level store, which cannot be persisted; rebuild it after reopening", name)
+		}
+		desc := h.desc
+		sr := savedRelation{
+			Name:       desc.Name,
+			Type:       int(desc.Type),
+			Model:      int(desc.Model),
+			Method:     desc.Method.String(),
+			KeyAttr:    desc.KeyAttr,
+			Fillfactor: desc.Fillfactor,
+		}
+		for _, a := range desc.UserAttrs() {
+			sr.Attrs = append(sr.Attrs, savedAttr{Name: a.Name, Kind: int(a.Kind), Len: a.Len})
+		}
+		switch f := conv.file.(type) {
+		case *hashfile.File:
+			m := f.Meta()
+			sr.Hash = &m
+		case *isam.File:
+			m := f.Meta()
+			sr.Isam = &m
+		case *btree.File:
+			m := f.Meta()
+			sr.Btree = &m
+		}
+		for _, ix := range h.indexes {
+			cfg := ix.Config()
+			sr.Indexes = append(sr.Indexes, savedIndex{
+				Name:      cfg.Name,
+				Attr:      cfg.Attr,
+				Structure: cfg.Structure.String(),
+				Levels:    cfg.Levels,
+			})
+		}
+		sc.Relations = append(sc.Relations, sr)
+	}
+	data, err := json.MarshalIndent(sc, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(db.opts.Dir, catalogFile+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(db.opts.Dir, catalogFile))
+}
+
+// loadCatalog reattaches the relations described by the sidecar, if any.
+func (db *Database) loadCatalog() error {
+	if db.opts.Dir == "" {
+		return nil
+	}
+	data, err := os.ReadFile(filepath.Join(db.opts.Dir, catalogFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var sc savedCatalog
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return fmt.Errorf("core: corrupt catalog sidecar: %w", err)
+	}
+	// Keep the logical clock monotone across sessions: never reopen with a
+	// clock behind the one the data was written under.
+	if saved := temporal.Time(sc.Now); saved > db.clock.Now() {
+		db.clock.Set(saved)
+	}
+	for _, sr := range sc.Relations {
+		attrs := make([]tuple.Attr, len(sr.Attrs))
+		for i, a := range sr.Attrs {
+			attrs[i] = tuple.Attr{Name: a.Name, Kind: tuple.Kind(a.Kind), Len: a.Len}
+		}
+		desc, err := db.cat.Create(sr.Name, catalog.DBType(sr.Type), catalog.Model(sr.Model), attrs)
+		if err != nil {
+			return fmt.Errorf("core: reloading %s: %w", sr.Name, err)
+		}
+		desc.KeyAttr = sr.KeyAttr
+		desc.Fillfactor = sr.Fillfactor
+		buf, err := db.newBuffer(sr.Name)
+		if err != nil {
+			return err
+		}
+		conv := &conventional{buf: buf}
+		switch {
+		case sr.Hash != nil:
+			desc.Method = catalog.Hash
+			conv.file = hashfile.New(buf, *sr.Hash)
+		case sr.Isam != nil:
+			desc.Method = catalog.Isam
+			conv.file = isam.New(buf, *sr.Isam)
+		case sr.Btree != nil:
+			desc.Method = catalog.Btree
+			conv.file = btree.New(buf, *sr.Btree)
+		default:
+			desc.Method = catalog.Heap
+			conv.file = heapfile.New(buf, desc.Width())
+		}
+		db.rels[strings.ToLower(sr.Name)] = &relHandle{
+			desc:    desc,
+			src:     conv,
+			indexes: make(map[string]*secindex.Index),
+		}
+	}
+	// Rebuild the persisted index definitions (scan-based, like `index on`).
+	for _, sr := range sc.Relations {
+		for _, si := range sr.Indexes {
+			stmt := &tquel.IndexStmt{
+				Rel: sr.Name, Name: si.Name, Attr: si.Attr,
+				Structure: si.Structure, Levels: si.Levels,
+			}
+			if _, err := db.execIndex(stmt); err != nil {
+				return fmt.Errorf("core: rebuilding index %s on %s: %w", si.Name, sr.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Checkpoint flushes every buffer and persists the catalog (including
+// mutable B-tree metadata). Close calls it automatically.
+func (db *Database) Checkpoint() error {
+	for _, h := range db.rels {
+		for _, b := range h.buffers() {
+			if err := b.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return db.saveCatalog()
+}
+
+// Close checkpoints and releases every file.
+func (db *Database) Close() error {
+	if err := db.Checkpoint(); err != nil {
+		return err
+	}
+	for _, h := range db.rels {
+		for _, b := range h.buffers() {
+			if err := b.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	db.rels = map[string]*relHandle{}
+	db.cat = catalog.New()
+	db.ranges = map[string]string{}
+	return nil
+}

@@ -1,0 +1,739 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"tdbms/internal/am"
+	"tdbms/internal/catalog"
+	"tdbms/internal/heapfile"
+	"tdbms/internal/page"
+	"tdbms/internal/secindex"
+	"tdbms/internal/temporal"
+	"tdbms/internal/tquel"
+	"tdbms/internal/tuple"
+)
+
+// qvar is one range variable of a query with its per-variable plan inputs.
+type qvar struct {
+	name string
+	h    *relHandle
+	// sel are where-conjuncts referencing only this variable.
+	sel []tquel.Expr
+	// tsel are when-conjuncts referencing only this variable.
+	tsel []tquel.TExpr
+	// keyConst, when non-nil, is a constant the storage key is equated to.
+	keyConst *tuple.Value
+	// keyLo/keyHi bound the storage key when the where-clause constrains it
+	// with inequalities (used by the ordered access methods).
+	keyLo, keyHi *int64
+	// idxAttr/idxConst select a secondary index equality, when available.
+	idxName  string
+	idxConst int64
+	// currentOnly marks queries that can be answered from current versions
+	// alone — the two-level store's fast path (Section 6).
+	currentOnly bool
+	// temp, when non-nil, is the detached one-variable result this
+	// variable now ranges over (multi-variable plans).
+	temp *tempRel
+}
+
+// query is an analyzed retrieve (also used internally by DML).
+type query struct {
+	stmt    *tquel.RetrieveStmt
+	vars    []string // in order of first appearance
+	qv      map[string]*qvar
+	env     *env
+	at, thr temporal.Time // rollback slice (as-of ... through ...)
+	temps   []*tempRel
+}
+
+// tempRel is a temporary relation created by one-variable detachment.
+type tempRel struct {
+	schema *tuple.Schema
+	hf     *heapfile.File
+}
+
+// varsInExpr accumulates range variables referenced by a scalar expression.
+func varsInExpr(x tquel.Expr, out map[string]bool) {
+	switch ex := x.(type) {
+	case *tquel.AttrExpr:
+		out[ex.Var] = true
+	case *tquel.BinaryExpr:
+		varsInExpr(ex.L, out)
+		varsInExpr(ex.R, out)
+	case *tquel.UnaryExpr:
+		varsInExpr(ex.X, out)
+	case *tquel.TAttrExpr:
+		varsInTExpr(ex.X, out)
+	case *tquel.AggExpr:
+		varsInExpr(ex.Arg, out)
+		for _, b := range ex.By {
+			varsInExpr(b, out)
+		}
+	}
+}
+
+// varsInTExpr accumulates range variables referenced by a temporal
+// expression.
+func varsInTExpr(x tquel.TExpr, out map[string]bool) {
+	switch tx := x.(type) {
+	case *tquel.TVar:
+		out[tx.Var] = true
+	case *tquel.TUnary:
+		varsInTExpr(tx.X, out)
+	case *tquel.TBinary:
+		varsInTExpr(tx.L, out)
+		varsInTExpr(tx.R, out)
+	}
+}
+
+// flattenAnd splits a where-clause into its top-level conjuncts.
+func flattenAnd(x tquel.Expr, out []tquel.Expr) []tquel.Expr {
+	if b, ok := x.(*tquel.BinaryExpr); ok && b.Op == "and" {
+		return flattenAnd(b.R, flattenAnd(b.L, out))
+	}
+	return append(out, x)
+}
+
+// flattenTAnd splits a when-clause into its top-level conjuncts.
+func flattenTAnd(x tquel.TExpr, out []tquel.TExpr) []tquel.TExpr {
+	if b, ok := x.(*tquel.TBinary); ok && b.Op == "and" {
+		return flattenTAnd(b.R, flattenTAnd(b.L, out))
+	}
+	return append(out, x)
+}
+
+// isNowConst reports whether a temporal expression is the constant "now".
+func isNowConst(x tquel.TExpr) bool {
+	c, ok := x.(*tquel.TConst)
+	return ok && strings.EqualFold(strings.TrimSpace(c.Text), "now")
+}
+
+// analyze resolves variables, the rollback slice, per-variable selections,
+// access-path candidates, and current-only flags.
+func (db *Database) analyze(s *tquel.RetrieveStmt) (*query, error) {
+	q := &query{
+		stmt: s,
+		qv:   map[string]*qvar{},
+		env:  &env{vars: map[string]*binding{}, now: int64(db.clock.Now())},
+	}
+
+	seen := map[string]bool{}
+	for _, t := range s.Targets {
+		varsInExpr(t.Expr, seen)
+	}
+	if s.Where != nil {
+		varsInExpr(s.Where, seen)
+	}
+	if s.When != nil {
+		varsInTExpr(s.When, seen)
+	}
+	if s.Valid != nil {
+		for _, e := range []tquel.TExpr{s.Valid.At, s.Valid.From, s.Valid.To} {
+			if e != nil {
+				varsInTExpr(e, seen)
+			}
+		}
+	}
+	// Deterministic first-appearance order: walk targets, then clauses.
+	appendVar := func(v string) error {
+		if _, done := q.qv[v]; done || !seen[v] {
+			return nil
+		}
+		h, err := db.relForVar(v)
+		if err != nil {
+			return err
+		}
+		q.qv[v] = &qvar{name: v, h: h}
+		q.vars = append(q.vars, v)
+		q.env.vars[v] = bindingFor(h.desc)
+		return nil
+	}
+	walkOrder := func(x tquel.Expr) error {
+		m := map[string]bool{}
+		varsInExpr(x, m)
+		for _, t := range q.orderOf(x, m) {
+			if err := appendVar(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, t := range s.Targets {
+		if err := walkOrder(t.Expr); err != nil {
+			return nil, err
+		}
+	}
+	// Any remaining variables from the clauses, in map-stable sorted order.
+	var rest []string
+	for v := range seen {
+		if _, done := q.qv[v]; !done {
+			rest = append(rest, v)
+		}
+	}
+	for i := 0; i < len(rest); i++ {
+		for j := i + 1; j < len(rest); j++ {
+			if rest[j] < rest[i] {
+				rest[i], rest[j] = rest[j], rest[i]
+			}
+		}
+	}
+	for _, v := range rest {
+		if err := appendVar(v); err != nil {
+			return nil, err
+		}
+	}
+
+	// Rollback slice: explicit as-of, defaulting to "now" (a rollback or
+	// temporal relation shows its current state unless shifted back).
+	q.at, q.thr = db.clock.Now(), db.clock.Now()
+	if s.AsOf != nil {
+		at, _, err := q.env.evalTEvent(s.AsOf.At)
+		if err != nil {
+			return nil, err
+		}
+		q.at, q.thr = at, at
+		if s.AsOf.Through != nil {
+			thr, _, err := q.env.evalTEvent(s.AsOf.Through)
+			if err != nil {
+				return nil, err
+			}
+			if thr < at {
+				return nil, fmt.Errorf("core: as-of range ends (%s) before it starts (%s)", thr, at)
+			}
+			q.thr = thr
+		}
+	}
+
+	// Split single-variable conjuncts.
+	if s.Where != nil {
+		for _, c := range flattenAnd(s.Where, nil) {
+			m := map[string]bool{}
+			varsInExpr(c, m)
+			if len(m) == 1 {
+				for v := range m {
+					q.qv[v].sel = append(q.qv[v].sel, c)
+				}
+			}
+		}
+	}
+	if s.When != nil {
+		for _, c := range flattenTAnd(s.When, nil) {
+			m := map[string]bool{}
+			varsInTExpr(c, m)
+			if len(m) == 1 {
+				for v := range m {
+					q.qv[v].tsel = append(q.qv[v].tsel, c)
+				}
+			}
+		}
+	}
+
+	// Per-variable access-path candidates and current-only flags.
+	sliceIsNow := q.at == db.clock.Now() && q.thr == q.at
+	for _, v := range q.vars {
+		qv := q.qv[v]
+		desc := qv.h.desc
+		for _, c := range qv.sel {
+			attr, op, val, ok := comparisonWithConst(c, v)
+			if !ok {
+				continue
+			}
+			onKey := desc.KeyAttr != "" && strings.EqualFold(attr, desc.KeyAttr)
+			if onKey && op == "=" && qv.keyConst == nil {
+				val := val
+				qv.keyConst = &val
+				continue
+			}
+			// Inequalities on an integer key bound a range probe for the
+			// ordered access methods.
+			if onKey && op != "=" && val.Kind != tuple.F4 && val.Kind != tuple.F8 && val.IsNumeric() {
+				n := val.AsInt()
+				switch op {
+				case ">":
+					qv.tightenLo(n + 1)
+				case ">=":
+					qv.tightenLo(n)
+				case "<":
+					qv.tightenHi(n - 1)
+				case "<=":
+					qv.tightenHi(n)
+				}
+				continue
+			}
+			if op == "=" && qv.idxName == "" && val.IsNumeric() {
+				for name, ix := range qv.h.indexes {
+					if strings.EqualFold(ix.Config().Attr, attr) {
+						qv.idxName = name
+						qv.idxConst = val.AsInt()
+						break
+					}
+				}
+			}
+		}
+		overlapNow := false
+		for _, c := range qv.tsel {
+			b, ok := c.(*tquel.TBinary)
+			if !ok || b.Op != "overlap" {
+				continue
+			}
+			lv, lok := b.L.(*tquel.TVar)
+			rv, rok := b.R.(*tquel.TVar)
+			if lok && lv.Var == v && isNowConst(b.R) {
+				overlapNow = true
+			}
+			if rok && rv.Var == v && isNowConst(b.L) {
+				overlapNow = true
+			}
+		}
+		switch desc.Type {
+		case catalog.Rollback:
+			qv.currentOnly = sliceIsNow
+		case catalog.Historical:
+			qv.currentOnly = overlapNow
+		case catalog.Temporal:
+			qv.currentOnly = sliceIsNow && overlapNow
+		}
+	}
+	return q, nil
+}
+
+// orderOf lists the variables of an expression in textual appearance order.
+// (The map gives the set; rendering the expression gives a stable order.)
+func (q *query) orderOf(x tquel.Expr, m map[string]bool) []string {
+	var out []string
+	s := x.String()
+	type pos struct {
+		v string
+		i int
+	}
+	var ps []pos
+	for v := range m {
+		if i := strings.Index(s, v+"."); i >= 0 {
+			ps = append(ps, pos{v, i})
+		} else {
+			ps = append(ps, pos{v, len(s)})
+		}
+	}
+	for i := 0; i < len(ps); i++ {
+		for j := i + 1; j < len(ps); j++ {
+			if ps[j].i < ps[i].i || (ps[j].i == ps[i].i && ps[j].v < ps[i].v) {
+				ps[i], ps[j] = ps[j], ps[i]
+			}
+		}
+	}
+	for _, p := range ps {
+		out = append(out, p.v)
+	}
+	return out
+}
+
+// tightenLo raises the key range's lower bound.
+func (qv *qvar) tightenLo(n int64) {
+	if qv.keyLo == nil || n > *qv.keyLo {
+		qv.keyLo = &n
+	}
+}
+
+// tightenHi lowers the key range's upper bound.
+func (qv *qvar) tightenHi(n int64) {
+	if qv.keyHi == nil || n < *qv.keyHi {
+		qv.keyHi = &n
+	}
+}
+
+// flipOp mirrors a comparison operator (for `const op attr` conjuncts).
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op
+}
+
+// comparisonWithConst matches a conjunct of the form v.attr OP const (either
+// side), returning the attribute, the operator normalized to attr-on-the-
+// left form, and the constant.
+func comparisonWithConst(c tquel.Expr, v string) (string, string, tuple.Value, bool) {
+	b, ok := c.(*tquel.BinaryExpr)
+	if !ok || !cmpOpSet[b.Op] {
+		return "", "", tuple.Value{}, false
+	}
+	if a, ok := b.L.(*tquel.AttrExpr); ok && a.Var == v {
+		if k, ok := b.R.(*tquel.ConstExpr); ok {
+			return a.Attr, b.Op, k.Val, true
+		}
+	}
+	if a, ok := b.R.(*tquel.AttrExpr); ok && a.Var == v {
+		if k, ok := b.L.(*tquel.ConstExpr); ok {
+			return a.Attr, flipOp(b.Op), k.Val, true
+		}
+	}
+	return "", "", tuple.Value{}, false
+}
+
+var cmpOpSet = map[string]bool{"=": true, "<": true, "<=": true, ">": true, ">=": true}
+
+// joinEquality matches a conjunct of form a.x = b.y across two different
+// variables, returning both sides.
+func joinEquality(c tquel.Expr) (l, r *tquel.AttrExpr, ok bool) {
+	b, okb := c.(*tquel.BinaryExpr)
+	if !okb || b.Op != "=" {
+		return nil, nil, false
+	}
+	la, okl := b.L.(*tquel.AttrExpr)
+	ra, okr := b.R.(*tquel.AttrExpr)
+	if okl && okr && la.Var != ra.Var {
+		return la, ra, true
+	}
+	return nil, nil, false
+}
+
+// txVisible applies the rollback slice to a bound variable.
+func (q *query) txVisible(v string) bool {
+	b := q.env.vars[v]
+	iv, ok := b.txInterval()
+	if !ok {
+		return true // no transaction time: as-of does not apply
+	}
+	return iv.From <= q.thr && temporal.Time(q.at) < iv.To
+}
+
+// passesVar checks a variable's own selections (scalar, temporal, slice)
+// for the currently bound tuple.
+func (q *query) passesVar(v string) (bool, error) {
+	if !q.txVisible(v) {
+		return false, nil
+	}
+	qv := q.qv[v]
+	for _, c := range qv.sel {
+		ok, err := q.env.evalBool(c)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	for _, c := range qv.tsel {
+		ok, err := q.env.evalTBool(c)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// accessPath enumerates the one-variable access strategies of Section 5.3.
+type accessPath int
+
+const (
+	pathTemp accessPath = iota // detached temporary
+	pathIndex
+	pathProbe
+	pathRange
+	pathScan
+)
+
+// pathFor picks the access path for a variable — the single decision point
+// shared by the executor and Explain.
+func (q *query) pathFor(v string) accessPath {
+	qv := q.qv[v]
+	switch {
+	case qv.temp != nil:
+		return pathTemp
+	case qv.keyConst != nil && qv.h.src.Keyed():
+		return pathProbe
+	case qv.keyConst == nil && qv.idxName != "":
+		return pathIndex
+	case (qv.keyLo != nil || qv.keyHi != nil) && qv.h.src.Ordered():
+		return pathRange
+	}
+	return pathScan
+}
+
+// keyBounds resolves the range-probe bounds with open sides saturated.
+func (qv *qvar) keyBounds() (lo, hi int64) {
+	lo, hi = math.MinInt64, math.MaxInt64
+	if qv.keyLo != nil {
+		lo = *qv.keyLo
+	}
+	if qv.keyHi != nil {
+		hi = *qv.keyHi
+	}
+	return lo, hi
+}
+
+// scanVar drives the one-variable query interpreter: it picks the access
+// path (hashed access, ISAM access, secondary index, or sequential scan —
+// the dominant operations of Section 5.3), binds each version, applies the
+// variable's own predicates, and calls fn for qualifying versions.
+func (q *query) scanVar(v string, fn func(rid page.RID, tup []byte) error) error {
+	qv := q.qv[v]
+	b := q.env.vars[v]
+	if q.pathFor(v) == pathTemp {
+		// The variable was detached: range over its temporary.
+		return q.scanTemp(qv.temp, v, func() error {
+			return fn(page.NilRID, b.tup)
+		})
+	}
+	src := qv.h.src
+
+	// Secondary-index access path.
+	if q.pathFor(v) == pathIndex {
+		ix := qv.h.indexes[qv.idxName]
+		var tids []secindex.TID
+		var err error
+		if qv.currentOnly && ix.CanProbeCurrent() {
+			tids, err = ix.ProbeCurrent(qv.idxConst)
+		} else {
+			tids, err = ix.ProbeAll(qv.idxConst)
+		}
+		if err != nil {
+			return err
+		}
+		for _, tid := range tids {
+			tup, err := src.FetchTID(secTID{history: tid.History, rid: tid.RID})
+			if err != nil {
+				return err
+			}
+			b.tup = tup
+			ok, err := q.passesVar(v)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			if err := fn(tid.RID, tup); err != nil {
+				return err
+			}
+		}
+		b.tup = nil
+		return nil
+	}
+
+	var it am.Iterator
+	switch q.pathFor(v) {
+	case pathProbe:
+		key := qv.keyConst.AsInt()
+		if qv.currentOnly {
+			it = src.ProbeCurrent(key)
+		} else {
+			it = src.ProbeAll(key)
+		}
+	case pathRange:
+		lo, hi := qv.keyBounds()
+		if qv.currentOnly {
+			it = src.RangeCurrent(lo, hi)
+		} else {
+			it = src.RangeAll(lo, hi)
+		}
+	default:
+		if qv.currentOnly {
+			it = src.ScanCurrent()
+		} else {
+			it = src.ScanAll()
+		}
+	}
+	for {
+		rid, tup, ok, err := it.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		b.tup = tup
+		pass, err := q.passesVar(v)
+		if err != nil {
+			return err
+		}
+		if !pass {
+			continue
+		}
+		if err := fn(rid, tup); err != nil {
+			return err
+		}
+	}
+	b.tup = nil
+	return nil
+}
+
+// probeVarWith probes variable v by an externally supplied key (tuple
+// substitution), applying v's own predicates before calling fn.
+func (q *query) probeVarWith(v string, key int64, fn func(rid page.RID, tup []byte) error) error {
+	qv := q.qv[v]
+	b := q.env.vars[v]
+	var it am.Iterator
+	if qv.currentOnly {
+		it = qv.h.src.ProbeCurrent(key)
+	} else {
+		it = qv.h.src.ProbeAll(key)
+	}
+	for {
+		rid, tup, ok, err := it.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		b.tup = tup
+		pass, err := q.passesVar(v)
+		if err != nil {
+			return err
+		}
+		if !pass {
+			continue
+		}
+		if err := fn(rid, tup); err != nil {
+			return err
+		}
+	}
+}
+
+// neededAttrs lists the attribute names of variable v referenced anywhere
+// in the statement, plus its implicit time attributes (needed to evaluate
+// temporal predicates and the valid clause after detachment).
+func (q *query) neededAttrs(v string) []string {
+	names := map[string]bool{}
+	var walkE func(x tquel.Expr)
+	var walkT func(x tquel.TExpr)
+	walkE = func(x tquel.Expr) {
+		switch ex := x.(type) {
+		case *tquel.AttrExpr:
+			if ex.Var == v {
+				names[strings.ToLower(ex.Attr)] = true
+			}
+		case *tquel.BinaryExpr:
+			walkE(ex.L)
+			walkE(ex.R)
+		case *tquel.UnaryExpr:
+			walkE(ex.X)
+		case *tquel.TAttrExpr:
+			walkT(ex.X)
+		}
+	}
+	walkT = func(x tquel.TExpr) {
+		switch tx := x.(type) {
+		case *tquel.TVar:
+			if tx.Var == v {
+				// The variable denotes its valid interval.
+				d := q.qv[v].h.desc
+				if d.VF >= 0 {
+					names[strings.ToLower(d.Schema.Attr(d.VF).Name)] = true
+					names[strings.ToLower(d.Schema.Attr(d.VT).Name)] = true
+				}
+			}
+		case *tquel.TUnary:
+			walkT(tx.X)
+		case *tquel.TBinary:
+			walkT(tx.L)
+			walkT(tx.R)
+		}
+	}
+	s := q.stmt
+	for _, t := range s.Targets {
+		walkE(t.Expr)
+	}
+	if s.Where != nil {
+		walkE(s.Where)
+	}
+	if s.When != nil {
+		walkT(s.When)
+	}
+	if s.Valid != nil {
+		for _, e := range []tquel.TExpr{s.Valid.At, s.Valid.From, s.Valid.To} {
+			if e != nil {
+				walkT(e)
+			}
+		}
+	}
+	// Default valid clause uses the variable's interval even when unnamed.
+	d := q.qv[v].h.desc
+	if s.Valid == nil && d.VF >= 0 {
+		names[strings.ToLower(d.Schema.Attr(d.VF).Name)] = true
+		names[strings.ToLower(d.Schema.Attr(d.VT).Name)] = true
+	}
+	var out []string
+	for i := 0; i < d.Schema.NumAttrs(); i++ {
+		n := strings.ToLower(d.Schema.Attr(i).Name)
+		if names[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// detach runs the one-variable subquery of v and materializes the needed
+// projection into a temporary relation — Ingres's one-variable detachment.
+func (db *Database) detach(q *query, v string) (*tempRel, error) {
+	d := q.qv[v].h.desc
+	attrs := q.neededAttrs(v)
+	if len(attrs) == 0 {
+		attrs = []string{strings.ToLower(d.Schema.Attr(0).Name)}
+	}
+	idx := make([]int, len(attrs))
+	for i, n := range attrs {
+		idx[i] = d.Schema.Index(n)
+	}
+	tmpSchema := d.Schema.Project(idx, nil)
+	db.tmpSeq++
+	buf, err := db.newBuffer(fmt.Sprintf("tmp_%d", db.tmpSeq))
+	if err != nil {
+		return nil, err
+	}
+	tmp := &tempRel{schema: tmpSchema, hf: heapfile.New(buf, tmpSchema.Width())}
+	q.temps = append(q.temps, tmp)
+	out := tmpSchema.NewTuple()
+	err = q.scanVar(v, func(rid page.RID, tup []byte) error {
+		for i, srcIdx := range idx {
+			if err := tmpSchema.SetValue(out, i, d.Schema.Value(tup, srcIdx)); err != nil {
+				return err
+			}
+		}
+		_, err := tmp.hf.Insert(out)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Flush and drop the frame: the temporary is re-read from disk by the
+	// next phase, as in the prototype (its pages are part of the fixed
+	// input cost of Figure 9).
+	if err := tmp.hf.Buffer().Invalidate(); err != nil {
+		return nil, err
+	}
+	// After detachment the variable ranges over the temporary relation.
+	q.env.vars[v] = bindingForTemp(d, tmpSchema)
+	// Its single-variable predicates were consumed by the detachment.
+	q.qv[v].sel = nil
+	q.qv[v].tsel = nil
+	return tmp, nil
+}
+
+// scanTemp iterates a temporary relation, binding v to each tuple.
+func (q *query) scanTemp(tmp *tempRel, v string, fn func() error) error {
+	b := q.env.vars[v]
+	it := tmp.hf.Scan()
+	for {
+		_, tup, ok, err := it.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			b.tup = nil
+			return nil
+		}
+		b.tup = tup
+		if err := fn(); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"tdbms/internal/tuple"
+)
+
+// Result is the outcome of one statement: rows for a retrieve, a count for
+// DML, plus the statement's I/O cost in pages (the benchmark metric).
+type Result struct {
+	// Cols are the output column names of a retrieve.
+	Cols []string
+	// Rows holds the retrieved tuples.
+	Rows [][]tuple.Value
+	// Affected counts tuples appended/deleted/replaced by DML.
+	Affected int
+	// Input is the number of page reads performed by the statement,
+	// including temporary relations ("input cost" in Figures 6-10).
+	Input int64
+	// Output is the number of page writes, dominated by temporary
+	// relations ("output cost" in Section 5.2).
+	Output int64
+	// TempInput/TempOutput are the portions of Input/Output spent on
+	// temporary relations — part of the fixed cost of Figure 9.
+	TempInput  int64
+	TempOutput int64
+}
+
+// String renders the result as an aligned table (used by the shell and the
+// examples).
+func (r *Result) String() string {
+	if len(r.Cols) == 0 {
+		return fmt.Sprintf("(%d tuples affected, %d pages in, %d pages out)", r.Affected, r.Input, r.Output)
+	}
+	widths := make([]int, len(r.Cols))
+	for i, c := range r.Cols {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(vals []string) {
+		b.WriteString("|")
+		for i, v := range vals {
+			fmt.Fprintf(&b, " %-*s |", widths[i], v)
+		}
+		b.WriteString("\n")
+	}
+	sep := "+"
+	for _, w := range widths {
+		sep += strings.Repeat("-", w+2) + "+"
+	}
+	b.WriteString(sep + "\n")
+	writeRow(r.Cols)
+	b.WriteString(sep + "\n")
+	for _, row := range cells {
+		writeRow(row)
+	}
+	b.WriteString(sep + "\n")
+	fmt.Fprintf(&b, "(%d tuples, %d pages in, %d pages out)", len(r.Rows), r.Input, r.Output)
+	return b.String()
+}

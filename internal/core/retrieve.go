@@ -1,0 +1,568 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"tdbms/internal/catalog"
+	"tdbms/internal/page"
+	"tdbms/internal/temporal"
+	"tdbms/internal/tquel"
+	"tdbms/internal/tuple"
+)
+
+// execRetrieve plans and runs a retrieve statement.
+func (db *Database) execRetrieve(s *tquel.RetrieveStmt) (*Result, error) {
+	q, err := db.analyze(s)
+	if err != nil {
+		return nil, err
+	}
+	out := &emitter{db: db, q: q}
+	if err := out.prepare(); err != nil {
+		return nil, err
+	}
+	if err := db.runQuery(q, out.emit); err != nil {
+		return nil, err
+	}
+	if len(out.aggs) > 0 {
+		if err := out.finalizeAggregates(); err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{Cols: out.cols, Rows: out.rows}
+	for _, tmp := range q.temps {
+		st := tmp.hf.Buffer().Stats()
+		res.Input += st.Reads
+		res.Output += st.Writes
+		res.TempInput += st.Reads
+		res.TempOutput += st.Writes
+		tmp.hf.Buffer().Close()
+	}
+	if s.Unique {
+		res.Rows = dedupeRows(res.Rows)
+	}
+	if len(s.Sort) > 0 {
+		if err := sortRows(res.Cols, res.Rows, s.Sort); err != nil {
+			return nil, err
+		}
+	}
+	if s.Into != "" {
+		if err := db.materialize(s.Into, out, res); err != nil {
+			return nil, err
+		}
+		res.Affected = len(res.Rows)
+		res.Cols, res.Rows = nil, nil
+	}
+	return res, nil
+}
+
+// emitter accumulates output rows, including the implicit valid-time
+// columns when the query has valid-time semantics. In aggregate mode it
+// accumulates per-tuple values instead and produces one row at the end.
+type emitter struct {
+	db       *Database
+	q        *query
+	cols     []string
+	attrs    []tuple.Attr // inferred target attributes (for `into`)
+	hasValid bool
+	rows     [][]tuple.Value
+	aggs     []*tquel.AggExpr
+	states   []*aggState // non-grouped accumulators
+	// Grouped aggregation (`sum(x.a by x.b)`).
+	grouped    bool
+	byExprs    []tquel.Expr
+	byKeys     map[string]bool // renderings of the grouping expressions
+	groups     map[string]*groupAgg
+	groupOrder []string
+}
+
+// groupAgg holds one group's accumulators and grouping values.
+type groupAgg struct {
+	states []*aggState
+	byVals map[string]tuple.Value
+}
+
+// prepare infers the output schema. Duplicate result names are fine for
+// display (the paper's Q09..Q12 output both h.id and i.id) but not when
+// materializing into a relation.
+func (e *emitter) prepare() error {
+	s := e.q.stmt
+	names := map[string]bool{}
+	for _, t := range s.Targets {
+		name := strings.ToLower(t.Name)
+		if names[name] && s.Into != "" {
+			return fmt.Errorf("core: duplicate result attribute %q", t.Name)
+		}
+		names[name] = true
+		a, err := e.q.inferAttr(t)
+		if err != nil {
+			return err
+		}
+		e.cols = append(e.cols, name)
+		e.attrs = append(e.attrs, a)
+		collectAggs(t.Expr, &e.aggs)
+	}
+	if len(e.aggs) > 0 {
+		if s.Valid != nil || s.Into != "" {
+			return fmt.Errorf("core: aggregate retrieves take no valid clause or into destination")
+		}
+		// Every aggregate must share one grouping (possibly empty).
+		byRender := func(a *tquel.AggExpr) string {
+			parts := make([]string, len(a.By))
+			for i, b := range a.By {
+				parts[i] = b.String()
+			}
+			return strings.Join(parts, ";")
+		}
+		want := byRender(e.aggs[0])
+		for _, a := range e.aggs[1:] {
+			if byRender(a) != want {
+				return fmt.Errorf("core: aggregates in one target list must share the same by-list")
+			}
+		}
+		e.byExprs = e.aggs[0].By
+		e.grouped = len(e.byExprs) > 0
+		e.byKeys = map[string]bool{}
+		for _, b := range e.byExprs {
+			var nested []*tquel.AggExpr
+			collectAggs(b, &nested)
+			if len(nested) > 0 {
+				return fmt.Errorf("core: grouping expressions cannot contain aggregates")
+			}
+			e.byKeys[b.String()] = true
+		}
+		// Non-aggregate targets must be grouping expressions.
+		for _, t := range s.Targets {
+			var inTarget []*tquel.AggExpr
+			collectAggs(t.Expr, &inTarget)
+			if len(inTarget) > 0 {
+				continue
+			}
+			if hasBareAttr(t.Expr) && !e.byKeys[t.Expr.String()] {
+				if e.grouped {
+					return fmt.Errorf("core: target %q must be a grouping expression or an aggregate", t.Name)
+				}
+				return fmt.Errorf("core: target %q mixes tuple attributes with aggregates", t.Name)
+			}
+		}
+		if e.grouped {
+			e.groups = map[string]*groupAgg{}
+		} else {
+			e.states = make([]*aggState, len(e.aggs))
+			for i, a := range e.aggs {
+				e.states[i] = &aggState{fn: a.Fn}
+			}
+		}
+		return nil
+	}
+	if s.Valid != nil {
+		e.hasValid = true
+	} else {
+		for _, v := range e.q.vars {
+			if e.q.qv[v].h.desc.VF >= 0 {
+				e.hasValid = true
+				break
+			}
+		}
+	}
+	if e.hasValid {
+		e.cols = append(e.cols, catalog.AttrValidFrom, catalog.AttrValidTo)
+	}
+	return nil
+}
+
+// inferAttr derives the stored attribute for a target expression.
+func (q *query) inferAttr(t tquel.Target) (tuple.Attr, error) {
+	kind, length, err := q.inferKind(t.Expr)
+	if err != nil {
+		return tuple.Attr{}, err
+	}
+	return tuple.Attr{Name: strings.ToLower(t.Name), Kind: kind, Len: length}, nil
+}
+
+func (q *query) inferKind(x tquel.Expr) (tuple.Kind, int, error) {
+	switch ex := x.(type) {
+	case *tquel.ConstExpr:
+		if ex.Val.Kind == tuple.Char {
+			return tuple.Char, max(len(ex.Val.S), 1), nil
+		}
+		return ex.Val.Kind, 0, nil
+	case *tquel.AttrExpr:
+		b, ok := q.env.vars[ex.Var]
+		if !ok {
+			return 0, 0, fmt.Errorf("core: unknown range variable %q", ex.Var)
+		}
+		i := b.schema.Index(ex.Attr)
+		if i < 0 {
+			return 0, 0, fmt.Errorf("core: %s has no attribute %q", ex.Var, ex.Attr)
+		}
+		a := b.schema.Attr(i)
+		return a.Kind, a.Len, nil
+	case *tquel.UnaryExpr:
+		return q.inferKind(ex.X)
+	case *tquel.BinaryExpr:
+		lk, _, err := q.inferKind(ex.L)
+		if err != nil {
+			return 0, 0, err
+		}
+		rk, _, err := q.inferKind(ex.R)
+		if err != nil {
+			return 0, 0, err
+		}
+		if lk == tuple.F4 || lk == tuple.F8 || rk == tuple.F4 || rk == tuple.F8 {
+			return tuple.F8, 0, nil
+		}
+		return tuple.I4, 0, nil
+	case *tquel.TAttrExpr:
+		return tuple.Temporal, 0, nil
+	case *tquel.AggExpr:
+		switch ex.Fn {
+		case "count", "any":
+			return tuple.I4, 0, nil
+		case "avg":
+			return tuple.F8, 0, nil
+		default:
+			return q.inferKind(ex.Arg)
+		}
+	}
+	return 0, 0, fmt.Errorf("core: cannot infer type of %s", x)
+}
+
+// emit is called with all variables bound: it applies the full where/when
+// clauses, computes the result validity, and appends the output row.
+func (e *emitter) emit() error {
+	q := e.q
+	s := q.stmt
+	if ok, err := q.env.evalBool(s.Where); err != nil || !ok {
+		return err
+	}
+	if ok, err := q.env.evalTBool(s.When); err != nil || !ok {
+		return err
+	}
+
+	if len(e.aggs) > 0 {
+		states := e.states
+		if e.grouped {
+			var keyB strings.Builder
+			byVals := make(map[string]tuple.Value, len(e.byExprs))
+			for _, b := range e.byExprs {
+				v, err := q.env.evalExpr(b)
+				if err != nil {
+					return err
+				}
+				byVals[b.String()] = v
+				fmt.Fprintf(&keyB, "%d\x00%s\x00", v.Kind, v.String())
+			}
+			key := keyB.String()
+			g, ok := e.groups[key]
+			if !ok {
+				g = &groupAgg{states: make([]*aggState, len(e.aggs)), byVals: byVals}
+				for i, a := range e.aggs {
+					g.states[i] = &aggState{fn: a.Fn}
+				}
+				e.groups[key] = g
+				e.groupOrder = append(e.groupOrder, key)
+			}
+			states = g.states
+		}
+		for i, a := range e.aggs {
+			var v tuple.Value
+			if a.Fn != "count" && a.Fn != "any" {
+				var err error
+				if v, err = q.env.evalExpr(a.Arg); err != nil {
+					return err
+				}
+			}
+			if err := states[i].add(v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var validOut temporal.Interval
+	if e.hasValid {
+		iv, ok, err := q.resultValidity()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil // empty validity: the result tuple denotes nothing
+		}
+		validOut = iv
+	}
+
+	row := make([]tuple.Value, 0, len(e.cols))
+	for _, t := range s.Targets {
+		v, err := q.env.evalExpr(t.Expr)
+		if err != nil {
+			return err
+		}
+		row = append(row, v)
+	}
+	if e.hasValid {
+		row = append(row,
+			tuple.TemporalValue(int64(validOut.From)),
+			tuple.TemporalValue(int64(validOut.To)))
+	}
+	e.rows = append(e.rows, row)
+	return nil
+}
+
+// finalizeAggregates produces the output rows of an aggregate retrieve from
+// the accumulated states: one row total, or one per group.
+func (e *emitter) finalizeAggregates() error {
+	outputRow := func(states []*aggState, byVals map[string]tuple.Value) error {
+		e.q.env.agg = make(map[*tquel.AggExpr]tuple.Value, len(e.aggs))
+		for i, a := range e.aggs {
+			v, err := states[i].result()
+			if err != nil {
+				return err
+			}
+			e.q.env.agg[a] = v
+		}
+		e.q.env.byVals = byVals
+		defer func() { e.q.env.byVals = nil }()
+		row := make([]tuple.Value, 0, len(e.q.stmt.Targets))
+		for _, t := range e.q.stmt.Targets {
+			v, err := e.q.env.evalExpr(t.Expr)
+			if err != nil {
+				return err
+			}
+			row = append(row, v)
+		}
+		e.rows = append(e.rows, row)
+		return nil
+	}
+	if !e.grouped {
+		return outputRow(e.states, nil)
+	}
+	for _, key := range e.groupOrder {
+		g := e.groups[key]
+		if err := outputRow(g.states, g.byVals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resultValidity computes the valid interval of the result tuple: the valid
+// clause when present, otherwise the intersection of the participating
+// variables' valid intervals (TQuel's default).
+func (q *query) resultValidity() (temporal.Interval, bool, error) {
+	s := q.stmt
+	if s.Valid != nil {
+		if s.Valid.At != nil {
+			at, ok, err := q.env.evalTEvent(s.Valid.At)
+			if err != nil || !ok {
+				return temporal.Interval{}, false, err
+			}
+			return temporal.Event(at), true, nil
+		}
+		from, okF, err := q.env.evalTEvent(s.Valid.From)
+		if err != nil {
+			return temporal.Interval{}, false, err
+		}
+		to, okT, err := q.env.evalTEnd(s.Valid.To)
+		if err != nil {
+			return temporal.Interval{}, false, err
+		}
+		iv := temporal.Interval{From: from, To: to}
+		return iv, okF && okT && iv.Valid() && !iv.IsEmpty(), nil
+	}
+	have := false
+	out := temporal.Interval{From: temporal.Beginning, To: temporal.Forever}
+	for _, v := range q.vars {
+		b := q.env.vars[v]
+		if b.vf < 0 {
+			continue
+		}
+		iv, err := b.validInterval()
+		if err != nil {
+			return temporal.Interval{}, false, err
+		}
+		var ok bool
+		out, ok = out.Intersect(iv)
+		if !ok {
+			return temporal.Interval{}, false, nil
+		}
+		have = true
+	}
+	return out, have, nil
+}
+
+// runQuery drives the execution strategies of Section 5.3: the one-variable
+// interpreter, tuple substitution after one-variable detachment, detachment
+// of both sides joined in a temporary, or a nested sequential scan for
+// purely temporal joins. Queries over three or more variables detach every
+// selective variable into a temporary, then join with nested scans.
+func (db *Database) runQuery(q *query, emit func() error) error {
+	switch len(q.vars) {
+	case 0:
+		return emit()
+	case 1:
+		return q.scanVar(q.vars[0], func(page.RID, []byte) error { return emit() })
+	case 2:
+		return db.runJoin(q, emit)
+	default:
+		for _, v := range q.vars {
+			if len(q.qv[v].sel) == 0 && len(q.qv[v].tsel) == 0 {
+				continue
+			}
+			tmp, err := db.detach(q, v)
+			if err != nil {
+				return err
+			}
+			q.qv[v].temp = tmp
+		}
+		return db.runNested(q, q.vars, emit)
+	}
+}
+
+// substitution describes a tuple-substitution plan: detach one variable,
+// probe the other by the join attribute.
+type substitution struct {
+	probeVar  string
+	detachVar string
+	probeExpr *tquel.AttrExpr // attribute of detachVar supplying the key
+}
+
+// chooseSubstitution looks for a join conjunct equating some variable's
+// storage key with an attribute of the other variable. Hashed probes are
+// preferred over ISAM probes, following Ingres's cost ordering.
+func (q *query) chooseSubstitution() *substitution {
+	if q.stmt.Where == nil {
+		return nil
+	}
+	var best *substitution
+	bestHash := false
+	for _, c := range flattenAnd(q.stmt.Where, nil) {
+		l, r, ok := joinEquality(c)
+		if !ok {
+			continue
+		}
+		for _, side := range [][2]*tquel.AttrExpr{{l, r}, {r, l}} {
+			keyAttr, other := side[0], side[1]
+			qv, exists := q.qv[keyAttr.Var]
+			if !exists {
+				continue
+			}
+			desc := qv.h.desc
+			if desc.KeyAttr == "" || !strings.EqualFold(desc.KeyAttr, keyAttr.Attr) || !qv.h.src.Keyed() {
+				continue
+			}
+			if _, exists := q.qv[other.Var]; !exists {
+				continue
+			}
+			isHash := desc.Method == catalog.Hash
+			if best == nil || (isHash && !bestHash) {
+				best = &substitution{probeVar: keyAttr.Var, detachVar: other.Var, probeExpr: other}
+				bestHash = isHash
+			}
+		}
+	}
+	return best
+}
+
+// runJoin executes a two-variable query.
+func (db *Database) runJoin(q *query, emit func() error) error {
+	if sub := q.chooseSubstitution(); sub != nil {
+		tmp, err := db.detach(q, sub.detachVar)
+		if err != nil {
+			return err
+		}
+		return q.scanTemp(tmp, sub.detachVar, func() error {
+			keyVal, err := q.env.evalExpr(sub.probeExpr)
+			if err != nil {
+				return err
+			}
+			if !keyVal.IsNumeric() {
+				return fmt.Errorf("core: join key %s is not numeric", sub.probeExpr)
+			}
+			return q.probeVarWith(sub.probeVar, keyVal.AsInt(),
+				func(page.RID, []byte) error { return emit() })
+		})
+	}
+
+	// Detach every variable that has a scalar selection; join the results.
+	a, b := q.vars[0], q.vars[1]
+	if len(q.qv[a].sel) > 0 && len(q.qv[b].sel) > 0 {
+		tmpA, err := db.detach(q, a)
+		if err != nil {
+			return err
+		}
+		tmpB, err := db.detach(q, b)
+		if err != nil {
+			return err
+		}
+		return q.scanTemp(tmpA, a, func() error {
+			return q.scanTemp(tmpB, b, emit)
+		})
+	}
+
+	// Nested sequential scan (the temporal-join strategy of Q11).
+	return db.runNested(q, q.vars, emit)
+}
+
+// runNested evaluates variables left to right with nested scans.
+func (db *Database) runNested(q *query, vars []string, emit func() error) error {
+	if len(vars) == 0 {
+		return emit()
+	}
+	return q.scanVar(vars[0], func(page.RID, []byte) error {
+		return db.runNested(q, vars[1:], emit)
+	})
+}
+
+// materialize stores the emitted rows as a new relation (retrieve into).
+// The result is historical when the query carries valid time, static
+// otherwise; rollback time is never copied (the result is a snapshot).
+func (db *Database) materialize(name string, e *emitter, res *Result) error {
+	create := &tquel.CreateStmt{Rel: name, Attrs: e.attrs}
+	if e.hasValid {
+		create.Model = "interval" // the snapshot keeps valid time only
+	}
+	if _, err := db.execCreate(create); err != nil {
+		return err
+	}
+	h, err := db.handle(name)
+	if err != nil {
+		return err
+	}
+	desc := h.desc
+	tup := desc.Schema.NewTuple()
+	for _, row := range res.Rows {
+		for i := range row {
+			if err := desc.Schema.SetValue(tup, i, row[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := h.src.InsertCurrent(tup); err != nil {
+			return err
+		}
+	}
+	for _, b := range h.src.Buffers() {
+		if err := b.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dedupeRows removes duplicate rows (retrieve unique).
+func dedupeRows(rows [][]tuple.Value) [][]tuple.Value {
+	seen := map[string]bool{}
+	out := rows[:0]
+	for _, r := range rows {
+		var b strings.Builder
+		for _, v := range r {
+			fmt.Fprintf(&b, "%d|%s|%g|%v;", v.Kind, v.S, v.F, v.I)
+		}
+		k := b.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}

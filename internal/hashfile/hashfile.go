@@ -1,0 +1,285 @@
+// Package hashfile implements Ingres-style static hashing: a fixed number
+// of primary pages chosen by `modify R to hash on key where fillfactor = N`,
+// with an overflow chain hanging off each primary page.
+//
+// The bucket function is key mod P. Because every version of a tuple shares
+// its key, updates lengthen the chain of that key's bucket; the benchmark's
+// growth-rate analysis (Section 5.3) and the O(n^2) single-tuple update cost
+// (Section 5.4) both fall directly out of this structure.
+package hashfile
+
+import (
+	"fmt"
+
+	"tdbms/internal/am"
+	"tdbms/internal/buffer"
+	"tdbms/internal/page"
+)
+
+// Meta describes a hash file's fixed parameters; the catalog persists it.
+type Meta struct {
+	Width   int    // tuple width in bytes
+	Key     am.Key // key location within the tuple
+	Primary int    // number of primary pages (buckets)
+}
+
+// PrimaryPages computes the primary page count Ingres's modify would choose:
+// enough pages to hold ntuples at the requested fillfactor, plus one.
+// fillfactor is a percentage (100 or 50 in the benchmark).
+func PrimaryPages(ntuples, width, fillfactor int) int {
+	perPage := page.Capacity(width) * fillfactor / 100
+	if perPage < 1 {
+		perPage = 1
+	}
+	return (ntuples+perPage-1)/perPage + 1
+}
+
+// File is a static hash file over a buffered paged file.
+type File struct {
+	buf  *buffer.Buffered
+	meta Meta
+}
+
+// Build formats an empty buffered file with meta.Primary empty primary
+// pages and returns the opened hash file. The file must be empty.
+func Build(buf *buffer.Buffered, meta Meta) (*File, error) {
+	if buf.NumPages() != 0 {
+		return nil, fmt.Errorf("hashfile: build requires an empty file, have %d pages", buf.NumPages())
+	}
+	if meta.Primary < 1 {
+		return nil, fmt.Errorf("hashfile: need at least one primary page")
+	}
+	for i := 0; i < meta.Primary; i++ {
+		_, p, err := buf.Allocate()
+		if err != nil {
+			return nil, err
+		}
+		p.Format(meta.Width, page.KindData)
+	}
+	if err := buf.Flush(); err != nil {
+		return nil, err
+	}
+	return &File{buf: buf, meta: meta}, nil
+}
+
+// New opens an existing hash file described by meta.
+func New(buf *buffer.Buffered, meta Meta) *File {
+	return &File{buf: buf, meta: meta}
+}
+
+// Buffer exposes the underlying buffered file.
+func (f *File) Buffer() *buffer.Buffered { return f.buf }
+
+// Meta returns the file's parameters.
+func (f *File) Meta() Meta { return f.meta }
+
+// NumPages reports the file size in pages (primary + overflow).
+func (f *File) NumPages() int { return f.buf.NumPages() }
+
+// Bucket returns the primary page for a key.
+func (f *File) Bucket(key int64) page.ID {
+	p := int64(f.meta.Primary)
+	return page.ID(((key % p) + p) % p)
+}
+
+// Keyed implements am.File.
+func (f *File) Keyed() bool { return true }
+
+// Ordered implements am.File: hashing has no key order.
+func (f *File) Ordered() bool { return false }
+
+// ProbeRange implements am.File as a filtered full scan (static hashing
+// cannot do better; Section 6's case for ordered structures).
+func (f *File) ProbeRange(lo, hi int64) am.Iterator {
+	return am.FilterRange(f.Scan(), f.meta.Key, lo, hi)
+}
+
+// Insert implements am.File: the tuple goes to the first page of its
+// bucket's chain with room, extending the chain if necessary. The walk from
+// the primary page is what makes repeated updates of one tuple cost O(n^2)
+// pages in total (Section 5.4).
+func (f *File) Insert(tup []byte) (page.RID, error) {
+	if len(tup) != f.meta.Width {
+		return page.NilRID, fmt.Errorf("hashfile: tuple width %d, want %d", len(tup), f.meta.Width)
+	}
+	id := f.Bucket(f.meta.Key.Extract(tup))
+	for {
+		p, err := f.buf.Fetch(id)
+		if err != nil {
+			return page.NilRID, err
+		}
+		if p.HasRoom() {
+			slot, err := p.Insert(tup)
+			if err != nil {
+				return page.NilRID, err
+			}
+			f.buf.MarkDirty()
+			return page.RID{Page: id, Slot: uint16(slot)}, nil
+		}
+		next := p.Next()
+		if next == page.Nil {
+			// Extend the chain: the new page's ID is known before
+			// allocation, so the link can be set without re-reading.
+			newID := page.ID(f.buf.NumPages())
+			p.SetNext(newID)
+			f.buf.MarkDirty()
+			gotID, np, err := f.buf.Allocate()
+			if err != nil {
+				return page.NilRID, err
+			}
+			if gotID != newID {
+				return page.NilRID, fmt.Errorf("hashfile: allocated page %d, expected %d", gotID, newID)
+			}
+			np.Format(f.meta.Width, page.KindData)
+			slot, err := np.Insert(tup)
+			if err != nil {
+				return page.NilRID, err
+			}
+			return page.RID{Page: newID, Slot: uint16(slot)}, nil
+		}
+		id = next
+	}
+}
+
+// Get implements am.File.
+func (f *File) Get(rid page.RID) ([]byte, error) {
+	p, err := f.buf.Fetch(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	t, err := p.Get(int(rid.Slot))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(t))
+	copy(out, t)
+	return out, nil
+}
+
+// Update implements am.File (in place; the key must not change).
+func (f *File) Update(rid page.RID, tup []byte) error {
+	p, err := f.buf.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	if err := p.Replace(int(rid.Slot), tup); err != nil {
+		return err
+	}
+	f.buf.MarkDirty()
+	return nil
+}
+
+// Delete implements am.File.
+func (f *File) Delete(rid page.RID) error {
+	p, err := f.buf.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	if err := p.Delete(int(rid.Slot)); err != nil {
+		return err
+	}
+	f.buf.MarkDirty()
+	return nil
+}
+
+// Probe implements am.File: hashed access, reading only the bucket's chain.
+func (f *File) Probe(key int64) am.Iterator {
+	return &chainIter{f: f, cur: f.Bucket(key), filter: true, key: key}
+}
+
+// ProbeChain iterates the whole chain of key's bucket without filtering by
+// key (used by the version-scan analysis and tests).
+func (f *File) ProbeChain(key int64) am.Iterator {
+	return &chainIter{f: f, cur: f.Bucket(key)}
+}
+
+// Scan implements am.File: every primary page followed by its chain.
+func (f *File) Scan() am.Iterator {
+	return &scanIter{f: f}
+}
+
+// chainIter walks one overflow chain.
+type chainIter struct {
+	f      *File
+	cur    page.ID
+	slot   int
+	filter bool
+	key    int64
+}
+
+// Next implements am.Iterator.
+func (it *chainIter) Next() (page.RID, []byte, bool, error) {
+	for it.cur != page.Nil {
+		p, err := it.f.buf.Fetch(it.cur)
+		if err != nil {
+			return page.NilRID, nil, false, err
+		}
+		for it.slot < p.Slots() {
+			s := it.slot
+			it.slot++
+			t, err := p.Get(s)
+			if err == page.ErrBadSlot {
+				continue
+			}
+			if err != nil {
+				return page.NilRID, nil, false, err
+			}
+			if it.filter && it.f.meta.Key.Extract(t) != it.key {
+				continue
+			}
+			out := make([]byte, len(t))
+			copy(out, t)
+			return page.RID{Page: it.cur, Slot: uint16(s)}, out, true, nil
+		}
+		it.cur = p.Next()
+		it.slot = 0
+	}
+	return page.NilRID, nil, false, nil
+}
+
+// scanIter visits each primary page and its full chain.
+type scanIter struct {
+	f       *File
+	primary int // next primary bucket to start
+	cur     page.ID
+	slot    int
+	started bool
+}
+
+// Next implements am.Iterator.
+func (it *scanIter) Next() (page.RID, []byte, bool, error) {
+	for {
+		if !it.started {
+			if it.primary >= it.f.meta.Primary {
+				return page.NilRID, nil, false, nil
+			}
+			it.cur = page.ID(it.primary)
+			it.slot = 0
+			it.started = true
+		}
+		for it.cur != page.Nil {
+			p, err := it.f.buf.Fetch(it.cur)
+			if err != nil {
+				return page.NilRID, nil, false, err
+			}
+			for it.slot < p.Slots() {
+				s := it.slot
+				it.slot++
+				t, err := p.Get(s)
+				if err == page.ErrBadSlot {
+					continue
+				}
+				if err != nil {
+					return page.NilRID, nil, false, err
+				}
+				out := make([]byte, len(t))
+				copy(out, t)
+				return page.RID{Page: it.cur, Slot: uint16(s)}, out, true, nil
+			}
+			it.cur = p.Next()
+			it.slot = 0
+		}
+		it.primary++
+		it.started = false
+	}
+}

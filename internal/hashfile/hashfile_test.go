@@ -1,0 +1,337 @@
+package hashfile
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tdbms/internal/am"
+	"tdbms/internal/buffer"
+	"tdbms/internal/page"
+	"tdbms/internal/storage"
+)
+
+// Benchmark geometry from the paper (Section 5.1 / Figure 5).
+const (
+	versionedWidth = 116 // rollback/historical tuple
+	temporalWidth  = 124 // temporal tuple
+	nTuples        = 1024
+)
+
+func key4() am.Key { return am.Key{Offset: 0, Width: 4} }
+
+func mkTuple(width int, key int32) []byte {
+	b := make([]byte, width)
+	binary.LittleEndian.PutUint32(b, uint32(key))
+	return b
+}
+
+func build(t *testing.T, width, fillfactor int) *File {
+	t.Helper()
+	buf := buffer.New("h", storage.NewMem())
+	f, err := Build(buf, Meta{
+		Width:   width,
+		Key:     key4(),
+		Primary: PrimaryPages(nTuples, width, fillfactor),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func loadSequential(t *testing.T, f *File) {
+	t.Helper()
+	for id := int32(1); id <= nTuples; id++ {
+		if _, err := f.Insert(mkTuple(f.meta.Width, id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPrimaryPagesMatchPaper(t *testing.T) {
+	// Figure 5: versioned hashed relations occupy 129 pages at 100% loading
+	// and 257 at 50%, for 1024 tuples of 8 per page.
+	if got := PrimaryPages(nTuples, versionedWidth, 100); got != 129 {
+		t.Errorf("primary pages (100%%) = %d, want 129", got)
+	}
+	if got := PrimaryPages(nTuples, versionedWidth, 50); got != 257 {
+		t.Errorf("primary pages (50%%) = %d, want 257", got)
+	}
+	if got := PrimaryPages(nTuples, temporalWidth, 100); got != 129 {
+		t.Errorf("temporal primary pages (100%%) = %d, want 129", got)
+	}
+}
+
+func TestInitialLoadHasNoOverflow(t *testing.T) {
+	// With sequential ids and mod hashing, the initial 1024 tuples fit in
+	// the primary pages exactly (buckets hold 7 or 8 tuples each).
+	f := build(t, versionedWidth, 100)
+	loadSequential(t, f)
+	if got := f.NumPages(); got != 129 {
+		t.Errorf("pages after load = %d, want 129 (no overflow)", got)
+	}
+}
+
+func TestProbeFindsAllVersions(t *testing.T) {
+	f := build(t, versionedWidth, 100)
+	loadSequential(t, f)
+	// Insert 3 extra versions of key 500.
+	for i := 0; i < 3; i++ {
+		if _, err := f.Insert(mkTuple(versionedWidth, 500)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it := f.Probe(500)
+	n := 0
+	for {
+		_, tup, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if got := f.meta.Key.Extract(tup); got != 500 {
+			t.Fatalf("probe yielded key %d", got)
+		}
+		n++
+	}
+	if n != 4 {
+		t.Errorf("probe found %d versions, want 4", n)
+	}
+}
+
+func TestProbeMissingKeyReadsOneChain(t *testing.T) {
+	f := build(t, versionedWidth, 100)
+	loadSequential(t, f)
+	f.Buffer().Invalidate()
+	f.Buffer().ResetStats()
+	it := f.Probe(999999) // hashes somewhere; no matching tuples
+	if _, _, ok, err := it.Next(); err != nil || ok {
+		t.Fatalf("probe of missing key: ok=%v err=%v", ok, err)
+	}
+	if got := f.Buffer().Stats().Reads; got != 1 {
+		t.Errorf("missing-key probe read %d pages, want 1", got)
+	}
+}
+
+func TestScanVisitsEveryTupleOnce(t *testing.T) {
+	f := build(t, versionedWidth, 50)
+	loadSequential(t, f)
+	seen := map[int32]int{}
+	it := f.Scan()
+	for {
+		_, tup, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		seen[int32(f.meta.Key.Extract(tup))]++
+	}
+	if len(seen) != nTuples {
+		t.Fatalf("scan saw %d distinct keys, want %d", len(seen), nTuples)
+	}
+	for k, c := range seen {
+		if c != 1 {
+			t.Fatalf("key %d seen %d times", k, c)
+		}
+	}
+}
+
+func TestScanCostEqualsFileSize(t *testing.T) {
+	// Section 5.3: a sequential scan reads every page of the file.
+	f := build(t, temporalWidth, 100)
+	loadSequential(t, f)
+	// Two update rounds: each adds 2 versions per tuple (temporal replace).
+	for round := 0; round < 2; round++ {
+		for id := int32(1); id <= nTuples; id++ {
+			f.Insert(mkTuple(temporalWidth, id))
+			f.Insert(mkTuple(temporalWidth, id))
+		}
+	}
+	f.Buffer().Invalidate()
+	f.Buffer().ResetStats()
+	it := f.Scan()
+	for {
+		_, _, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	if got, want := int(f.Buffer().Stats().Reads), f.NumPages(); got != want {
+		t.Errorf("scan read %d pages, file has %d", got, want)
+	}
+}
+
+func TestChainGrowthMatchesPaperUC14(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	// Figure 5: the hashed temporal relation reaches exactly 3717 pages at
+	// update count 14 (129 primary; buckets of 8 grow 2 pages per update,
+	// buckets of 7 grow 1.75 pages per update).
+	f := build(t, temporalWidth, 100)
+	loadSequential(t, f)
+	for round := 0; round < 14; round++ {
+		for id := int32(1); id <= nTuples; id++ {
+			f.Insert(mkTuple(temporalWidth, id))
+			f.Insert(mkTuple(temporalWidth, id))
+		}
+	}
+	if got := f.NumPages(); got != 3717 {
+		t.Errorf("temporal hashed file at UC 14 = %d pages, want 3717", got)
+	}
+
+	// Rollback: one new version per update; Figure 5 reports 1927 pages.
+	g := build(t, versionedWidth, 100)
+	loadSequential(t, g)
+	for round := 0; round < 14; round++ {
+		for id := int32(1); id <= nTuples; id++ {
+			g.Insert(mkTuple(versionedWidth, id))
+		}
+	}
+	if got := g.NumPages(); got != 1927 {
+		t.Errorf("rollback hashed file at UC 14 = %d pages, want 1927", got)
+	}
+}
+
+func TestGetUpdateDelete(t *testing.T) {
+	f := build(t, versionedWidth, 100)
+	rid, err := f.Insert(mkTuple(versionedWidth, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup, err := f.Get(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.meta.Key.Extract(tup) != 42 {
+		t.Fatalf("Get returned key %d", f.meta.Key.Extract(tup))
+	}
+	tup[8] = 0xAA
+	if err := f.Update(rid, tup); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := f.Get(rid)
+	if got[8] != 0xAA {
+		t.Error("Update did not persist")
+	}
+	if err := f.Delete(rid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Get(rid); err == nil {
+		t.Error("Get after Delete succeeded")
+	}
+}
+
+func TestNegativeKeysHashToValidBuckets(t *testing.T) {
+	f := build(t, versionedWidth, 100)
+	rid, err := f.Insert(mkTuple(versionedWidth, -17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rid.Valid() {
+		t.Fatal("invalid RID")
+	}
+	it := f.Probe(-17)
+	_, _, ok, err := it.Next()
+	if err != nil || !ok {
+		t.Fatalf("probe of negative key: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestBuildRequiresEmptyFile(t *testing.T) {
+	buf := buffer.New("h", storage.NewMem())
+	if _, err := Build(buf, Meta{Width: 8, Key: key4(), Primary: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(buf, Meta{Width: 8, Key: key4(), Primary: 2}); err == nil {
+		t.Error("Build on non-empty file succeeded")
+	}
+}
+
+// Property: after inserting an arbitrary multiset of keys, probing any key
+// yields exactly its multiplicity, and a scan yields the whole multiset.
+func TestInsertProbeProperty(t *testing.T) {
+	f := func(seed int64, n8 uint8, primary8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(n8)
+		primary := int(primary8%13) + 1
+		buf := buffer.New("h", storage.NewMem())
+		hf, err := Build(buf, Meta{Width: 12, Key: key4(), Primary: primary})
+		if err != nil {
+			return false
+		}
+		want := map[int32]int{}
+		for i := 0; i < n; i++ {
+			k := int32(rng.Intn(40) - 20)
+			want[k]++
+			if _, err := hf.Insert(mkTuple(12, k)); err != nil {
+				return false
+			}
+		}
+		for k, c := range want {
+			it := hf.Probe(int64(k))
+			got := 0
+			for {
+				_, _, ok, err := it.Next()
+				if err != nil {
+					return false
+				}
+				if !ok {
+					break
+				}
+				got++
+			}
+			if got != c {
+				return false
+			}
+		}
+		total := 0
+		it := hf.Scan()
+		for {
+			_, _, ok, err := it.Next()
+			if err != nil {
+				return false
+			}
+			if !ok {
+				break
+			}
+			total++
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBucketDistribution(t *testing.T) {
+	f := build(t, versionedWidth, 100)
+	// 1024 sequential ids over 129 buckets: 121 buckets of 8, 8 buckets of 7.
+	counts := map[page.ID]int{}
+	for id := int64(1); id <= nTuples; id++ {
+		counts[f.Bucket(id)]++
+	}
+	n8, n7 := 0, 0
+	for _, c := range counts {
+		switch c {
+		case 8:
+			n8++
+		case 7:
+			n7++
+		default:
+			t.Fatalf("bucket with %d tuples", c)
+		}
+	}
+	if n8 != 121 || n7 != 8 {
+		t.Errorf("distribution: %d buckets of 8, %d of 7; want 121, 8", n8, n7)
+	}
+}

@@ -1,0 +1,464 @@
+// Package isam implements Ingres's ISAM access method: data pages sorted by
+// key at `modify` time, a static multi-level directory above them, and an
+// overflow chain per data page for tuples added afterwards.
+//
+// Directory entries are 6 bytes (4-byte key + 2-byte child page), giving a
+// fanout of 168 — the geometry behind the paper's figures: 128 data pages
+// fit under a single directory page at 100% loading (probe cost 2), while
+// 256 data pages at 50% loading need two directory levels (probe cost 3).
+// A sequential scan touches data and overflow pages only, never the
+// directory, so Q04's cost at update count 0 is 128, one page less than the
+// file size (Figure 7).
+package isam
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"tdbms/internal/am"
+	"tdbms/internal/buffer"
+	"tdbms/internal/page"
+)
+
+// entrySize is the byte width of one directory entry.
+const entrySize = 6
+
+// Fanout is the number of directory entries per page.
+const Fanout = (page.Size - page.HeaderSize) / entrySize
+
+// Meta describes an ISAM file's fixed parameters; the catalog persists it.
+type Meta struct {
+	Width     int     // tuple width in bytes
+	Key       am.Key  // key location within the tuple
+	DataPages int     // number of primary data pages (0..DataPages-1)
+	Root      page.ID // root directory page
+	Height    int     // number of directory levels above the data pages
+}
+
+// DataPageCount computes the data page count chosen by modify for ntuples
+// at the given fillfactor percentage.
+func DataPageCount(ntuples, width, fillfactor int) int {
+	perPage := page.Capacity(width) * fillfactor / 100
+	if perPage < 1 {
+		perPage = 1
+	}
+	return (ntuples + perPage - 1) / perPage
+}
+
+// File is an ISAM file over a buffered paged file.
+type File struct {
+	buf  *buffer.Buffered
+	meta Meta
+}
+
+// Build sorts tuples by key and writes an ISAM file: data pages first at
+// the occupancy implied by fillfactor, then the directory levels bottom-up,
+// root last. The buffered file must be empty. Build copies the tuple slice
+// headers but sorts in place.
+func Build(buf *buffer.Buffered, width int, key am.Key, fillfactor int, tuples [][]byte) (*File, error) {
+	if buf.NumPages() != 0 {
+		return nil, fmt.Errorf("isam: build requires an empty file, have %d pages", buf.NumPages())
+	}
+	perPage := page.Capacity(width) * fillfactor / 100
+	if perPage < 1 {
+		perPage = 1
+	}
+	sort.SliceStable(tuples, func(i, j int) bool {
+		return key.Extract(tuples[i]) < key.Extract(tuples[j])
+	})
+
+	// Data pages.
+	type ent struct {
+		key   int64
+		child page.ID
+	}
+	var level []ent
+	i := 0
+	for i < len(tuples) {
+		id, p, err := buf.Allocate()
+		if err != nil {
+			return nil, err
+		}
+		p.Format(width, page.KindData)
+		first := key.Extract(tuples[i])
+		for n := 0; n < perPage && i < len(tuples); n++ {
+			if _, err := p.Insert(tuples[i]); err != nil {
+				return nil, err
+			}
+			i++
+		}
+		level = append(level, ent{key: first, child: id})
+	}
+	if len(level) == 0 {
+		// An empty relation still needs one data page and a root.
+		id, p, err := buf.Allocate()
+		if err != nil {
+			return nil, err
+		}
+		p.Format(width, page.KindData)
+		level = append(level, ent{key: 0, child: id})
+	}
+	dataPages := len(level)
+
+	// Directory levels, bottom-up; the loop always runs at least once so
+	// even a single data page gets a root directory page.
+	height := 0
+	for {
+		var next []ent
+		for lo := 0; lo < len(level); lo += Fanout {
+			hi := lo + Fanout
+			if hi > len(level) {
+				hi = len(level)
+			}
+			id, p, err := buf.Allocate()
+			if err != nil {
+				return nil, err
+			}
+			p.Format(entrySize, page.KindDirectory)
+			for j := lo; j < hi; j++ {
+				writeEntry(p, j-lo, level[j].key, level[j].child)
+			}
+			p.SetAux(hi - lo)
+			next = append(next, ent{key: level[lo].key, child: id})
+		}
+		height++
+		level = next
+		if len(level) == 1 {
+			break
+		}
+	}
+	if err := buf.Flush(); err != nil {
+		return nil, err
+	}
+	meta := Meta{Width: width, Key: key, DataPages: dataPages, Root: level[0].child, Height: height}
+	return &File{buf: buf, meta: meta}, nil
+}
+
+// New opens an existing ISAM file described by meta.
+func New(buf *buffer.Buffered, meta Meta) *File {
+	return &File{buf: buf, meta: meta}
+}
+
+func writeEntry(p *page.Page, i int, key int64, child page.ID) {
+	off := page.HeaderSize + i*entrySize
+	binary.LittleEndian.PutUint32(p[off:], uint32(int32(key)))
+	binary.LittleEndian.PutUint16(p[off+4:], uint16(child))
+}
+
+func readEntry(p *page.Page, i int) (int64, page.ID) {
+	off := page.HeaderSize + i*entrySize
+	k := int64(int32(binary.LittleEndian.Uint32(p[off:])))
+	c := page.ID(binary.LittleEndian.Uint16(p[off+4:]))
+	return k, c
+}
+
+// Buffer exposes the underlying buffered file.
+func (f *File) Buffer() *buffer.Buffered { return f.buf }
+
+// Meta returns the file's parameters.
+func (f *File) Meta() Meta { return f.meta }
+
+// NumPages reports the file size in pages (data + directory + overflow).
+func (f *File) NumPages() int { return f.buf.NumPages() }
+
+// Keyed implements am.File.
+func (f *File) Keyed() bool { return true }
+
+// locate walks the directory from the root to the data page whose key range
+// contains key (the last page whose low key is <= key). Inserts land here.
+// Each directory page read goes through the single buffer frame, so
+// interleaved probes re-read the root — the "fixed cost" of Figure 9.
+func (f *File) locate(key int64) (page.ID, error) {
+	cur := f.meta.Root
+	for lvl := 0; lvl < f.meta.Height; lvl++ {
+		p, err := f.buf.Fetch(cur)
+		if err != nil {
+			return page.Nil, err
+		}
+		n := p.Aux()
+		idx := sort.Search(n, func(i int) bool {
+			k, _ := readEntry(p, i)
+			return k > key
+		}) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		_, cur = readEntry(p, idx)
+	}
+	return cur, nil
+}
+
+// probeRange computes the contiguous range of candidate data pages for a
+// key range [lo, hi]. start is the leftmost page that can contain lo —
+// duplicates of a page's low key may have been built onto the preceding
+// page, the classic ISAM equal-key adjustment. stop is the last page whose
+// low key is <= hi; openEnd is set when that bound reaches the end of the
+// leaf directory page, in which case the scan falls back to walking forward
+// until it sees a key greater than hi.
+func (f *File) probeRange(lo, hi int64) (start, stop page.ID, openEnd bool, err error) {
+	cur := f.meta.Root
+	var p *page.Page
+	for lvl := 0; lvl < f.meta.Height; lvl++ {
+		p, err = f.buf.Fetch(cur)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		n := p.Aux()
+		// Descend toward the leftmost candidate at every level.
+		idx := sort.Search(n, func(i int) bool {
+			k, _ := readEntry(p, i)
+			return k >= lo
+		}) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if lvl == f.meta.Height-1 {
+			_, start = readEntry(p, idx)
+			last := sort.Search(n, func(i int) bool {
+				k, _ := readEntry(p, i)
+				return k > hi
+			})
+			if last == n {
+				openEnd = true
+			}
+			if last > 0 {
+				last--
+			}
+			_, stop = readEntry(p, last)
+			return start, stop, openEnd, nil
+		}
+		_, cur = readEntry(p, idx)
+	}
+	// Height is always >= 1 (Build creates at least a root), so the loop
+	// returns from the leaf level.
+	return 0, 0, false, fmt.Errorf("isam: empty directory")
+}
+
+// Insert implements am.File: the tuple goes to the data page covering its
+// key, or to that page's overflow chain.
+func (f *File) Insert(tup []byte) (page.RID, error) {
+	if len(tup) != f.meta.Width {
+		return page.NilRID, fmt.Errorf("isam: tuple width %d, want %d", len(tup), f.meta.Width)
+	}
+	id, err := f.locate(f.meta.Key.Extract(tup))
+	if err != nil {
+		return page.NilRID, err
+	}
+	for {
+		p, err := f.buf.Fetch(id)
+		if err != nil {
+			return page.NilRID, err
+		}
+		if p.HasRoom() {
+			slot, err := p.Insert(tup)
+			if err != nil {
+				return page.NilRID, err
+			}
+			f.buf.MarkDirty()
+			return page.RID{Page: id, Slot: uint16(slot)}, nil
+		}
+		next := p.Next()
+		if next == page.Nil {
+			newID := page.ID(f.buf.NumPages())
+			p.SetNext(newID)
+			f.buf.MarkDirty()
+			gotID, np, err := f.buf.Allocate()
+			if err != nil {
+				return page.NilRID, err
+			}
+			if gotID != newID {
+				return page.NilRID, fmt.Errorf("isam: allocated page %d, expected %d", gotID, newID)
+			}
+			np.Format(f.meta.Width, page.KindData)
+			slot, err := np.Insert(tup)
+			if err != nil {
+				return page.NilRID, err
+			}
+			return page.RID{Page: newID, Slot: uint16(slot)}, nil
+		}
+		id = next
+	}
+}
+
+// Get implements am.File.
+func (f *File) Get(rid page.RID) ([]byte, error) {
+	p, err := f.buf.Fetch(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	t, err := p.Get(int(rid.Slot))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(t))
+	copy(out, t)
+	return out, nil
+}
+
+// Update implements am.File (in place; the key must not change).
+func (f *File) Update(rid page.RID, tup []byte) error {
+	p, err := f.buf.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	if err := p.Replace(int(rid.Slot), tup); err != nil {
+		return err
+	}
+	f.buf.MarkDirty()
+	return nil
+}
+
+// Delete implements am.File.
+func (f *File) Delete(rid page.RID) error {
+	p, err := f.buf.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	if err := p.Delete(int(rid.Slot)); err != nil {
+		return err
+	}
+	f.buf.MarkDirty()
+	return nil
+}
+
+// Keyed access is cheaper than a scan, and the key order supports ranges.
+func (f *File) Ordered() bool { return true }
+
+// Probe implements am.File: directory walk plus the covering data page's
+// chain, filtered by key.
+func (f *File) Probe(key int64) am.Iterator {
+	return &probeIter{f: f, lo: key, hi: key}
+}
+
+// ProbeRange implements am.File: directory walk to the first covering data
+// page, then a walk across the covering pages and their chains.
+func (f *File) ProbeRange(lo, hi int64) am.Iterator {
+	if lo > hi {
+		return am.Empty{}
+	}
+	return &probeIter{f: f, lo: lo, hi: hi}
+}
+
+// Scan implements am.File: data pages in key order, each followed by its
+// overflow chain; the directory is not read.
+func (f *File) Scan() am.Iterator {
+	return &scanIter{f: f}
+}
+
+type probeIter struct {
+	f          *File
+	lo, hi     int64   // inclusive key range; equal for an equality probe
+	primary    page.ID // data page whose chain is being walked
+	cur        page.ID // current page within that chain
+	stop       page.ID // last candidate data page
+	openEnd    bool    // candidate run may extend past stop
+	slot       int
+	located    bool
+	done       bool
+	sawGreater bool // a key > hi was seen (keys beyond are greater too)
+}
+
+// Next implements am.Iterator. It walks each candidate data page and its
+// overflow chain, from the leftmost candidate through the stop page
+// computed from the directory. When the candidate run reached the end of a
+// directory page (openEnd), it keeps scanning forward until a key greater
+// than the range's upper bound proves no later page can match.
+func (it *probeIter) Next() (page.RID, []byte, bool, error) {
+	if it.done {
+		return page.NilRID, nil, false, nil
+	}
+	if !it.located {
+		start, stop, openEnd, err := it.f.probeRange(it.lo, it.hi)
+		if err != nil {
+			return page.NilRID, nil, false, err
+		}
+		it.primary, it.cur, it.stop, it.openEnd = start, start, stop, openEnd
+		it.located = true
+	}
+	for {
+		for it.cur != page.Nil {
+			p, err := it.f.buf.Fetch(it.cur)
+			if err != nil {
+				return page.NilRID, nil, false, err
+			}
+			for it.slot < p.Slots() {
+				s := it.slot
+				it.slot++
+				t, err := p.Get(s)
+				if err == page.ErrBadSlot {
+					continue
+				}
+				if err != nil {
+					return page.NilRID, nil, false, err
+				}
+				k := it.f.meta.Key.Extract(t)
+				if k > it.hi {
+					it.sawGreater = true
+				}
+				if k < it.lo || k > it.hi {
+					continue
+				}
+				out := make([]byte, len(t))
+				copy(out, t)
+				return page.RID{Page: it.cur, Slot: uint16(s)}, out, true, nil
+			}
+			it.cur = p.Next()
+			it.slot = 0
+		}
+		// Finished one data page group.
+		next := it.primary + 1
+		if it.sawGreater || int(next) >= it.f.meta.DataPages ||
+			(it.primary >= it.stop && !it.openEnd) {
+			it.done = true
+			return page.NilRID, nil, false, nil
+		}
+		it.primary, it.cur, it.slot = next, next, 0
+	}
+}
+
+type scanIter struct {
+	f       *File
+	primary int
+	cur     page.ID
+	slot    int
+	started bool
+}
+
+// Next implements am.Iterator.
+func (it *scanIter) Next() (page.RID, []byte, bool, error) {
+	for {
+		if !it.started {
+			if it.primary >= it.f.meta.DataPages {
+				return page.NilRID, nil, false, nil
+			}
+			it.cur = page.ID(it.primary)
+			it.slot = 0
+			it.started = true
+		}
+		for it.cur != page.Nil {
+			p, err := it.f.buf.Fetch(it.cur)
+			if err != nil {
+				return page.NilRID, nil, false, err
+			}
+			for it.slot < p.Slots() {
+				s := it.slot
+				it.slot++
+				t, err := p.Get(s)
+				if err == page.ErrBadSlot {
+					continue
+				}
+				if err != nil {
+					return page.NilRID, nil, false, err
+				}
+				out := make([]byte, len(t))
+				copy(out, t)
+				return page.RID{Page: it.cur, Slot: uint16(s)}, out, true, nil
+			}
+			it.cur = p.Next()
+			it.slot = 0
+		}
+		it.primary++
+		it.started = false
+	}
+}

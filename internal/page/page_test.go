@@ -1,0 +1,270 @@
+package page
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Tuple widths from Section 5.1 of the paper: 108 data bytes plus 0, 8, or
+// 16 bytes of implicit time attributes.
+const (
+	staticWidth    = 108
+	versionedWidth = 116 // rollback/historical: + transaction or valid interval
+	temporalWidth  = 124 // temporal: + both intervals
+)
+
+func TestCapacityMatchesPaper(t *testing.T) {
+	// "With 100% loading, there are 9 tuples per page in static relations,
+	// and 8 tuples per page in rollback, historical, or temporal relations."
+	if got := Capacity(staticWidth); got != 9 {
+		t.Errorf("Capacity(108) = %d, want 9", got)
+	}
+	if got := Capacity(versionedWidth); got != 8 {
+		t.Errorf("Capacity(116) = %d, want 8", got)
+	}
+	if got := Capacity(temporalWidth); got != 8 {
+		t.Errorf("Capacity(124) = %d, want 8", got)
+	}
+}
+
+func TestCapacityDegenerate(t *testing.T) {
+	if got := Capacity(0); got != 0 {
+		t.Errorf("Capacity(0) = %d, want 0", got)
+	}
+	if got := Capacity(-5); got != 0 {
+		t.Errorf("Capacity(-5) = %d, want 0", got)
+	}
+	if got := Capacity(Size); got != 0 {
+		t.Errorf("Capacity(%d) = %d, want 0", Size, got)
+	}
+}
+
+func tup(width int, fill byte) []byte {
+	b := make([]byte, width)
+	for i := range b {
+		b[i] = fill
+	}
+	return b
+}
+
+func TestInsertUntilFull(t *testing.T) {
+	var p Page
+	p.Format(temporalWidth, KindData)
+	cap := Capacity(temporalWidth)
+	for i := 0; i < cap; i++ {
+		slot, err := p.Insert(tup(temporalWidth, byte(i)))
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		if slot != i {
+			t.Fatalf("insert %d got slot %d", i, slot)
+		}
+	}
+	if p.HasRoom() {
+		t.Error("full page reports HasRoom")
+	}
+	if _, err := p.Insert(tup(temporalWidth, 0xFF)); err != ErrFull {
+		t.Errorf("insert into full page: err = %v, want ErrFull", err)
+	}
+	if p.Live() != cap {
+		t.Errorf("Live = %d, want %d", p.Live(), cap)
+	}
+}
+
+func TestInsertWrongWidth(t *testing.T) {
+	var p Page
+	p.Format(100, KindData)
+	if _, err := p.Insert(tup(99, 1)); err == nil {
+		t.Error("insert of wrong-width tuple succeeded")
+	}
+}
+
+func TestGetReplaceDelete(t *testing.T) {
+	var p Page
+	p.Format(8, KindData)
+	s0, _ := p.Insert([]byte("aaaaaaaa"))
+	s1, _ := p.Insert([]byte("bbbbbbbb"))
+
+	got, err := p.Get(s1)
+	if err != nil || !bytes.Equal(got, []byte("bbbbbbbb")) {
+		t.Fatalf("Get(s1) = %q, %v", got, err)
+	}
+	if err := p.Replace(s0, []byte("cccccccc")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = p.Get(s0)
+	if !bytes.Equal(got, []byte("cccccccc")) {
+		t.Errorf("after Replace, Get = %q", got)
+	}
+	if err := p.Delete(s0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(s0); err != ErrBadSlot {
+		t.Errorf("Get(deleted) err = %v, want ErrBadSlot", err)
+	}
+	if err := p.Delete(s0); err != ErrBadSlot {
+		t.Errorf("double Delete err = %v, want ErrBadSlot", err)
+	}
+	if err := p.Replace(s0, []byte("dddddddd")); err != ErrBadSlot {
+		t.Errorf("Replace(deleted) err = %v, want ErrBadSlot", err)
+	}
+	if p.Live() != 1 {
+		t.Errorf("Live = %d, want 1", p.Live())
+	}
+}
+
+func TestDeletedSlotIsReused(t *testing.T) {
+	var p Page
+	p.Format(versionedWidth, KindData)
+	cap := Capacity(versionedWidth)
+	for i := 0; i < cap; i++ {
+		p.Insert(tup(versionedWidth, byte(i)))
+	}
+	if err := p.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasRoom() {
+		t.Fatal("page with a dead slot reports no room")
+	}
+	slot, err := p.Insert(tup(versionedWidth, 0xAB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slot != 3 {
+		t.Errorf("reused slot = %d, want 3", slot)
+	}
+}
+
+func TestOverflowLink(t *testing.T) {
+	var p Page
+	p.Format(10, KindData)
+	if p.Next() != Nil {
+		t.Errorf("fresh page Next = %d, want Nil", p.Next())
+	}
+	p.SetNext(42)
+	if p.Next() != 42 {
+		t.Errorf("Next = %d, want 42", p.Next())
+	}
+	p.SetNext(Nil)
+	if p.Next() != Nil {
+		t.Errorf("Next = %d, want Nil", p.Next())
+	}
+}
+
+func TestKindAndAux(t *testing.T) {
+	var p Page
+	p.Format(6, KindDirectory)
+	if p.Kind() != KindDirectory {
+		t.Errorf("Kind = %d", p.Kind())
+	}
+	p.SetAux(168)
+	if p.Aux() != 168 {
+		t.Errorf("Aux = %d, want 168", p.Aux())
+	}
+	if p.Width() != 6 {
+		t.Errorf("Width = %d, want 6", p.Width())
+	}
+}
+
+func TestTuplesIteration(t *testing.T) {
+	var p Page
+	p.Format(4, KindData)
+	p.Insert([]byte{1, 1, 1, 1})
+	p.Insert([]byte{2, 2, 2, 2})
+	p.Insert([]byte{3, 3, 3, 3})
+	p.Delete(1)
+
+	var seen []byte
+	p.Tuples(func(slot int, tup []byte) bool {
+		seen = append(seen, tup[0])
+		return true
+	})
+	if !bytes.Equal(seen, []byte{1, 3}) {
+		t.Errorf("iterated %v, want [1 3]", seen)
+	}
+
+	// Early stop.
+	n := 0
+	p.Tuples(func(slot int, tup []byte) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early-stop visited %d, want 1", n)
+	}
+}
+
+// Property: any sequence of inserts up to capacity is fully recoverable.
+func TestInsertGetRoundTripProperty(t *testing.T) {
+	f := func(seed int64, width8 uint8) bool {
+		width := int(width8%120) + 4
+		rng := rand.New(rand.NewSource(seed))
+		var p Page
+		p.Format(width, KindData)
+		var want [][]byte
+		for i := 0; i < Capacity(width); i++ {
+			b := make([]byte, width)
+			rng.Read(b)
+			if _, err := p.Insert(b); err != nil {
+				return false
+			}
+			want = append(want, b)
+		}
+		for i, w := range want {
+			got, err := p.Get(i)
+			if err != nil || !bytes.Equal(got, w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: random interleavings of insert and delete never lose a live
+// tuple and never exceed capacity.
+func TestInsertDeleteInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const width = 16
+		var p Page
+		p.Format(width, KindData)
+		live := map[int][]byte{}
+		for op := 0; op < 200; op++ {
+			if rng.Intn(2) == 0 && p.HasRoom() {
+				b := make([]byte, width)
+				rng.Read(b)
+				slot, err := p.Insert(b)
+				if err != nil {
+					return false
+				}
+				if _, clobbered := live[slot]; clobbered {
+					return false
+				}
+				live[slot] = b
+			} else if len(live) > 0 {
+				for slot := range live {
+					if err := p.Delete(slot); err != nil {
+						return false
+					}
+					delete(live, slot)
+					break
+				}
+			}
+			if p.Live() != len(live) {
+				return false
+			}
+		}
+		for slot, want := range live {
+			got, err := p.Get(slot)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,19 @@
+package page
+
+import "fmt"
+
+// RID addresses a single tuple: a page within a relation's file plus a slot
+// on that page. Secondary indexes store RIDs (the paper's "tuple id").
+type RID struct {
+	Page ID
+	Slot uint16
+}
+
+// NilRID is the invalid tuple address.
+var NilRID = RID{Page: Nil}
+
+// Valid reports whether the RID addresses a real page.
+func (r RID) Valid() bool { return r.Page != Nil }
+
+// String implements fmt.Stringer.
+func (r RID) String() string { return fmt.Sprintf("(%d,%d)", r.Page, r.Slot) }

@@ -1,0 +1,15 @@
+package storage
+
+import "os"
+
+// appendByte grows a file by one byte, making its size a non-multiple of
+// the page size.
+func appendByte(path string) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write([]byte{0})
+	return err
+}

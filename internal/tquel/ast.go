@@ -1,0 +1,421 @@
+// Package tquel implements the TQuel language (Snodgrass 1984/1985): a
+// lexer, recursive-descent parser, and AST for the superset of Quel handled
+// by the prototype — retrieve/append/delete/replace/create augmented with
+// the valid, when, and as-of clauses, plus range, modify, destroy, and copy.
+package tquel
+
+import (
+	"fmt"
+	"strings"
+
+	"tdbms/internal/tuple"
+)
+
+// Statement is any parsed TQuel statement.
+type Statement interface {
+	stmt()
+	fmt.Stringer
+}
+
+// RangeStmt is `range of v is Rel`.
+type RangeStmt struct {
+	Var string
+	Rel string
+}
+
+// RetrieveStmt is the augmented retrieve of Section 3.
+type RetrieveStmt struct {
+	Into    string // destination relation, or "" for output to the caller
+	Unique  bool
+	Targets []Target
+	Valid   *ValidClause // nil: default valid clause
+	Where   Expr         // nil: true
+	When    TExpr        // nil: true
+	AsOf    *AsOfClause  // nil: as of "now"
+	Sort    []SortKey    // output ordering, by result column
+}
+
+// SortKey orders retrieve output by a result column.
+type SortKey struct {
+	Column string
+	Desc   bool
+}
+
+// AppendStmt is `append [to] Rel (targets) [valid ...] [where ...] [when ...]`.
+type AppendStmt struct {
+	Rel     string
+	Targets []Target
+	Valid   *ValidClause
+	Where   Expr
+	When    TExpr
+}
+
+// DeleteStmt is `delete v [where ...] [when ...]`.
+type DeleteStmt struct {
+	Var   string
+	Where Expr
+	When  TExpr
+}
+
+// ReplaceStmt is `replace v (targets) [valid ...] [where ...] [when ...]`.
+type ReplaceStmt struct {
+	Var     string
+	Targets []Target
+	Valid   *ValidClause
+	Where   Expr
+	When    TExpr
+}
+
+// CreateStmt is the extended create: `create [persistent] [interval|event]
+// Rel (attr = type, ...)`. Persistent requests transaction time (rollback),
+// interval/event request valid time (historical); both together make the
+// relation temporal, as in Figure 3 of the paper.
+type CreateStmt struct {
+	Rel        string
+	Persistent bool
+	Model      string // "", "interval", or "event"
+	Attrs      []tuple.Attr
+}
+
+// ModifyStmt is `modify Rel to hash|isam|heap [on attr] [where fillfactor = n]`.
+type ModifyStmt struct {
+	Rel        string
+	Method     string
+	KeyAttr    string
+	Fillfactor int // 0: default 100
+}
+
+// DestroyStmt is `destroy Rel`.
+type DestroyStmt struct {
+	Rel string
+}
+
+// CopyStmt is `copy Rel () from|into "file"` — the batch input/output
+// statement the prototype modified to handle temporal attributes.
+type CopyStmt struct {
+	Rel  string
+	Into bool // true: copy data out of the relation into the file
+	File string
+}
+
+// IndexStmt is `index on Rel is Name (attr) [with structure = heap|hash]
+// [with levels = 1|2]` — the Section 6 secondary-indexing extension.
+type IndexStmt struct {
+	Rel       string
+	Name      string
+	Attr      string
+	Structure string // "heap" (default) or "hash"
+	Levels    int    // 1 (default) or 2
+}
+
+// Target is one element of a target or assignment list: `name = expr` or a
+// bare attribute reference whose name is inherited.
+type Target struct {
+	Name string
+	Expr Expr
+}
+
+// ValidClause is `valid from e to e` (interval) or `valid at e` (event).
+type ValidClause struct {
+	At       TExpr // non-nil for the event form
+	From, To TExpr // non-nil for the interval form
+}
+
+// AsOfClause is `as of e [through e]`.
+type AsOfClause struct {
+	At      TExpr
+	Through TExpr // nil for the single-instant form
+}
+
+func (*RangeStmt) stmt()    {}
+func (*RetrieveStmt) stmt() {}
+func (*AppendStmt) stmt()   {}
+func (*DeleteStmt) stmt()   {}
+func (*ReplaceStmt) stmt()  {}
+func (*CreateStmt) stmt()   {}
+func (*ModifyStmt) stmt()   {}
+func (*DestroyStmt) stmt()  {}
+func (*CopyStmt) stmt()     {}
+func (*IndexStmt) stmt()    {}
+
+// Expr is a scalar (where-clause / target-list) expression.
+type Expr interface {
+	expr()
+	fmt.Stringer
+}
+
+// ConstExpr is a literal.
+type ConstExpr struct {
+	Val tuple.Value
+}
+
+// AttrExpr is `var.attr`.
+type AttrExpr struct {
+	Var  string
+	Attr string
+}
+
+// BinaryExpr applies Op to L and R. Ops: + - * / = != < <= > >= and or.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// UnaryExpr applies Op to X. Ops: - not.
+type UnaryExpr struct {
+	Op string
+	X  Expr
+}
+
+// TAttrExpr references an implicit time attribute as a scalar inside a
+// target list (e.g. `h.valid_from`), letting retrieve output time values.
+type TAttrExpr struct {
+	X TExpr
+	// Which endpoint of the temporal expression: "start" or "end".
+	End string
+}
+
+// AggExpr is a Quel aggregate function over the qualified tuples:
+// count, sum, avg, min, max, or any. A non-empty By list groups the
+// aggregation (`sum(x.amount by x.dept)`), producing one result tuple per
+// group.
+type AggExpr struct {
+	Fn  string
+	Arg Expr
+	By  []Expr
+}
+
+func (*ConstExpr) expr()  {}
+func (*AttrExpr) expr()   {}
+func (*BinaryExpr) expr() {}
+func (*UnaryExpr) expr()  {}
+func (*TAttrExpr) expr()  {}
+func (*AggExpr) expr()    {}
+
+// TExpr is a temporal expression as used in valid, when, and as-of clauses.
+// Interval-valued forms (variables, constants, overlap, extend, start/end)
+// coerce to booleans in predicate position: an interval is "true" when it
+// is non-empty, so `when h overlap i` means the intersection exists.
+type TExpr interface {
+	texpr()
+	fmt.Stringer
+}
+
+// TVar denotes the valid-time interval of a tuple variable.
+type TVar struct {
+	Var string
+}
+
+// TConst is a time constant string ("now", "forever", "08:00 1/1/80", ...).
+type TConst struct {
+	Text string
+}
+
+// TUnary is `start of X` or `end of X` (Op "start"/"end") or `not X`
+// (Op "not").
+type TUnary struct {
+	Op string
+	X  TExpr
+}
+
+// TBinary combines temporal expressions. Ops: overlap, extend (interval
+// valued), precede (boolean), and, or (boolean).
+type TBinary struct {
+	Op   string
+	L, R TExpr
+}
+
+func (*TVar) texpr()    {}
+func (*TConst) texpr()  {}
+func (*TUnary) texpr()  {}
+func (*TBinary) texpr() {}
+
+// --- String renderings (used in error messages and the shell) ---
+
+func (s *RangeStmt) String() string { return fmt.Sprintf("range of %s is %s", s.Var, s.Rel) }
+
+func targetsString(ts []Target) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = fmt.Sprintf("%s = %s", t.Name, t.Expr)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (s *RetrieveStmt) String() string {
+	var b strings.Builder
+	b.WriteString("retrieve ")
+	if s.Into != "" {
+		fmt.Fprintf(&b, "into %s ", s.Into)
+	}
+	if s.Unique {
+		b.WriteString("unique ")
+	}
+	fmt.Fprintf(&b, "(%s)", targetsString(s.Targets))
+	if s.Valid != nil {
+		b.WriteString(" " + s.Valid.String())
+	}
+	if s.Where != nil {
+		fmt.Fprintf(&b, " where %s", s.Where)
+	}
+	if s.When != nil {
+		fmt.Fprintf(&b, " when %s", s.When)
+	}
+	if s.AsOf != nil {
+		b.WriteString(" " + s.AsOf.String())
+	}
+	if len(s.Sort) > 0 {
+		parts := make([]string, len(s.Sort))
+		for i, k := range s.Sort {
+			parts[i] = k.Column
+			if k.Desc {
+				parts[i] += " desc"
+			}
+		}
+		fmt.Fprintf(&b, " sort by %s", strings.Join(parts, ", "))
+	}
+	return b.String()
+}
+
+func (s *AppendStmt) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "append to %s (%s)", s.Rel, targetsString(s.Targets))
+	if s.Valid != nil {
+		b.WriteString(" " + s.Valid.String())
+	}
+	if s.Where != nil {
+		fmt.Fprintf(&b, " where %s", s.Where)
+	}
+	if s.When != nil {
+		fmt.Fprintf(&b, " when %s", s.When)
+	}
+	return b.String()
+}
+
+func (s *DeleteStmt) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "delete %s", s.Var)
+	if s.Where != nil {
+		fmt.Fprintf(&b, " where %s", s.Where)
+	}
+	if s.When != nil {
+		fmt.Fprintf(&b, " when %s", s.When)
+	}
+	return b.String()
+}
+
+func (s *ReplaceStmt) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "replace %s (%s)", s.Var, targetsString(s.Targets))
+	if s.Valid != nil {
+		b.WriteString(" " + s.Valid.String())
+	}
+	if s.Where != nil {
+		fmt.Fprintf(&b, " where %s", s.Where)
+	}
+	if s.When != nil {
+		fmt.Fprintf(&b, " when %s", s.When)
+	}
+	return b.String()
+}
+
+func (s *CreateStmt) String() string {
+	var b strings.Builder
+	b.WriteString("create ")
+	if s.Persistent {
+		b.WriteString("persistent ")
+	}
+	if s.Model != "" {
+		b.WriteString(s.Model + " ")
+	}
+	parts := make([]string, len(s.Attrs))
+	for i, a := range s.Attrs {
+		parts[i] = a.String()
+	}
+	fmt.Fprintf(&b, "%s (%s)", s.Rel, strings.Join(parts, ", "))
+	return b.String()
+}
+
+func (s *ModifyStmt) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "modify %s to %s", s.Rel, s.Method)
+	if s.KeyAttr != "" {
+		fmt.Fprintf(&b, " on %s", s.KeyAttr)
+	}
+	if s.Fillfactor != 0 {
+		fmt.Fprintf(&b, " where fillfactor = %d", s.Fillfactor)
+	}
+	return b.String()
+}
+
+func (s *DestroyStmt) String() string { return "destroy " + s.Rel }
+
+func (s *CopyStmt) String() string {
+	dir := "from"
+	if s.Into {
+		dir = "into"
+	}
+	return fmt.Sprintf("copy %s () %s %q", s.Rel, dir, s.File)
+}
+
+func (s *IndexStmt) String() string {
+	return fmt.Sprintf("index on %s is %s (%s) with structure = %s, levels = %d",
+		s.Rel, s.Name, s.Attr, s.Structure, s.Levels)
+}
+
+func (v *ValidClause) String() string {
+	if v.At != nil {
+		return fmt.Sprintf("valid at %s", v.At)
+	}
+	return fmt.Sprintf("valid from %s to %s", v.From, v.To)
+}
+
+func (a *AsOfClause) String() string {
+	if a.Through != nil {
+		return fmt.Sprintf("as of %s through %s", a.At, a.Through)
+	}
+	return fmt.Sprintf("as of %s", a.At)
+}
+
+func (e *ConstExpr) String() string {
+	if e.Val.Kind == tuple.Char {
+		return fmt.Sprintf("%q", e.Val.S)
+	}
+	return e.Val.String()
+}
+
+func (e *AttrExpr) String() string { return e.Var + "." + e.Attr }
+
+func (e *BinaryExpr) String() string { return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R) }
+
+func (e *UnaryExpr) String() string {
+	if e.Op == "not" {
+		return fmt.Sprintf("not (%s)", e.X)
+	}
+	return fmt.Sprintf("%s(%s)", e.Op, e.X)
+}
+
+func (e *TAttrExpr) String() string { return fmt.Sprintf("%s of (%s)", e.End, e.X) }
+
+func (e *AggExpr) String() string {
+	if len(e.By) == 0 {
+		return fmt.Sprintf("%s(%s)", e.Fn, e.Arg)
+	}
+	parts := make([]string, len(e.By))
+	for i, b := range e.By {
+		parts[i] = b.String()
+	}
+	return fmt.Sprintf("%s(%s by %s)", e.Fn, e.Arg, strings.Join(parts, ", "))
+}
+
+func (e *TVar) String() string   { return e.Var }
+func (e *TConst) String() string { return fmt.Sprintf("%q", e.Text) }
+
+func (e *TUnary) String() string {
+	if e.Op == "not" {
+		return fmt.Sprintf("not (%s)", e.X)
+	}
+	return fmt.Sprintf("%s of %s", e.Op, e.X)
+}
+
+func (e *TBinary) String() string { return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R) }

@@ -1,0 +1,896 @@
+package tquel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tdbms/internal/tuple"
+)
+
+// Parse parses a single TQuel statement.
+func Parse(src string) (Statement, error) {
+	stmts, err := ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("tquel: expected one statement, found %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+// ParseAll parses a sequence of TQuel statements. Statements are not
+// terminated; each begins with its keyword, as in Quel scripts.
+func ParseAll(src string) ([]Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmts []Statement
+	for !p.at(tokEOF, "") {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+// at reports whether the current token has the given kind and (for
+// identifiers and operators) text.
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.peek()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+// accept consumes the current token if it matches.
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if !p.at(kind, text) {
+		t := p.peek()
+		want := text
+		if want == "" {
+			want = map[tokenKind]string{
+				tokIdent: "identifier", tokInt: "integer", tokFloat: "number",
+				tokString: "string constant", tokOp: "operator",
+			}[kind]
+		}
+		return token{}, fmt.Errorf("tquel: expected %s at offset %d, found %q", want, t.pos, t.text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) ident() (string, error) {
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return "", err
+	}
+	return t.text, nil
+}
+
+func (p *parser) statement() (Statement, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("tquel: expected a statement at offset %d, found %q", t.pos, t.text)
+	}
+	switch t.text {
+	case "range":
+		return p.rangeStmt()
+	case "retrieve":
+		return p.retrieveStmt()
+	case "append":
+		return p.appendStmt()
+	case "delete":
+		return p.deleteStmt()
+	case "replace":
+		return p.replaceStmt()
+	case "create":
+		return p.createStmt()
+	case "modify":
+		return p.modifyStmt()
+	case "destroy":
+		return p.destroyStmt()
+	case "copy":
+		return p.copyStmt()
+	case "index":
+		return p.indexStmt()
+	}
+	return nil, fmt.Errorf("tquel: unknown statement %q at offset %d", t.text, t.pos)
+}
+
+func (p *parser) rangeStmt() (Statement, error) {
+	p.next() // range
+	if _, err := p.expect(tokIdent, "of"); err != nil {
+		return nil, err
+	}
+	v, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokIdent, "is"); err != nil {
+		return nil, err
+	}
+	rel, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return &RangeStmt{Var: v, Rel: rel}, nil
+}
+
+// clauses parses the optional valid / where / when / as-of clauses in any
+// order, each at most once. Flags select which clauses the statement allows.
+type clauseSet struct {
+	valid *ValidClause
+	where Expr
+	when  TExpr
+	asof  *AsOfClause
+}
+
+func (p *parser) clauses(allowValid, allowAsOf bool) (clauseSet, error) {
+	var cs clauseSet
+	for {
+		switch {
+		case allowValid && p.at(tokIdent, "valid"):
+			if cs.valid != nil {
+				return cs, fmt.Errorf("tquel: duplicate valid clause")
+			}
+			v, err := p.validClause()
+			if err != nil {
+				return cs, err
+			}
+			cs.valid = v
+		case p.at(tokIdent, "where"):
+			if cs.where != nil {
+				return cs, fmt.Errorf("tquel: duplicate where clause")
+			}
+			p.next()
+			e, err := p.expr()
+			if err != nil {
+				return cs, err
+			}
+			cs.where = e
+		case p.at(tokIdent, "when"):
+			if cs.when != nil {
+				return cs, fmt.Errorf("tquel: duplicate when clause")
+			}
+			p.next()
+			e, err := p.texpr()
+			if err != nil {
+				return cs, err
+			}
+			cs.when = e
+		case allowAsOf && p.at(tokIdent, "as"):
+			if cs.asof != nil {
+				return cs, fmt.Errorf("tquel: duplicate as-of clause")
+			}
+			p.next()
+			if _, err := p.expect(tokIdent, "of"); err != nil {
+				return cs, err
+			}
+			at, err := p.tival()
+			if err != nil {
+				return cs, err
+			}
+			a := &AsOfClause{At: at}
+			if p.accept(tokIdent, "through") {
+				th, err := p.tival()
+				if err != nil {
+					return cs, err
+				}
+				a.Through = th
+			}
+			cs.asof = a
+		default:
+			return cs, nil
+		}
+	}
+}
+
+func (p *parser) validClause() (*ValidClause, error) {
+	p.next() // valid
+	if p.accept(tokIdent, "at") {
+		e, err := p.tival()
+		if err != nil {
+			return nil, err
+		}
+		return &ValidClause{At: e}, nil
+	}
+	if _, err := p.expect(tokIdent, "from"); err != nil {
+		return nil, err
+	}
+	from, err := p.tival()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokIdent, "to"); err != nil {
+		return nil, err
+	}
+	to, err := p.tival()
+	if err != nil {
+		return nil, err
+	}
+	return &ValidClause{From: from, To: to}, nil
+}
+
+func (p *parser) retrieveStmt() (Statement, error) {
+	p.next() // retrieve
+	s := &RetrieveStmt{}
+	if p.accept(tokIdent, "into") {
+		rel, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		s.Into = rel
+	}
+	if p.accept(tokIdent, "unique") {
+		s.Unique = true
+	}
+	ts, err := p.targetList()
+	if err != nil {
+		return nil, err
+	}
+	s.Targets = ts
+	cs, err := p.clauses(true, true)
+	if err != nil {
+		return nil, err
+	}
+	s.Valid, s.Where, s.When, s.AsOf = cs.valid, cs.where, cs.when, cs.asof
+	if p.accept(tokIdent, "sort") {
+		if _, err := p.expect(tokIdent, "by"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			k := SortKey{Column: col}
+			if p.accept(tokIdent, "desc") {
+				k.Desc = true
+			} else {
+				p.accept(tokIdent, "asc")
+			}
+			s.Sort = append(s.Sort, k)
+			if !p.accept(tokOp, ",") {
+				break
+			}
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) appendStmt() (Statement, error) {
+	p.next() // append
+	p.accept(tokIdent, "to")
+	rel, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ts, err := p.targetList()
+	if err != nil {
+		return nil, err
+	}
+	cs, err := p.clauses(true, false)
+	if err != nil {
+		return nil, err
+	}
+	return &AppendStmt{Rel: rel, Targets: ts, Valid: cs.valid, Where: cs.where, When: cs.when}, nil
+}
+
+func (p *parser) deleteStmt() (Statement, error) {
+	p.next() // delete
+	v, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	cs, err := p.clauses(false, false)
+	if err != nil {
+		return nil, err
+	}
+	return &DeleteStmt{Var: v, Where: cs.where, When: cs.when}, nil
+}
+
+func (p *parser) replaceStmt() (Statement, error) {
+	p.next() // replace
+	v, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ts, err := p.targetList()
+	if err != nil {
+		return nil, err
+	}
+	cs, err := p.clauses(true, false)
+	if err != nil {
+		return nil, err
+	}
+	return &ReplaceStmt{Var: v, Targets: ts, Valid: cs.valid, Where: cs.where, When: cs.when}, nil
+}
+
+func (p *parser) createStmt() (Statement, error) {
+	p.next() // create
+	s := &CreateStmt{}
+	if p.accept(tokIdent, "persistent") {
+		s.Persistent = true
+	}
+	if p.accept(tokIdent, "interval") {
+		s.Model = "interval"
+	} else if p.accept(tokIdent, "event") {
+		s.Model = "event"
+	}
+	rel, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s.Rel = rel
+	if _, err := p.expect(tokOp, "("); err != nil {
+		return nil, err
+	}
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokOp, "="); err != nil {
+			return nil, err
+		}
+		tt, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		attr, err := parseAttrType(name, tt.text)
+		if err != nil {
+			return nil, err
+		}
+		s.Attrs = append(s.Attrs, attr)
+		if !p.accept(tokOp, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokOp, ")"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// parseAttrType maps Quel type spellings (i1, i2, i4, f4, f8, cN) plus the
+// user-defined-time type `temporal` to attributes.
+func parseAttrType(name, typ string) (tuple.Attr, error) {
+	switch typ {
+	case "i1":
+		return tuple.Attr{Name: name, Kind: tuple.I1}, nil
+	case "i2":
+		return tuple.Attr{Name: name, Kind: tuple.I2}, nil
+	case "i4":
+		return tuple.Attr{Name: name, Kind: tuple.I4}, nil
+	case "f4":
+		return tuple.Attr{Name: name, Kind: tuple.F4}, nil
+	case "f8":
+		return tuple.Attr{Name: name, Kind: tuple.F8}, nil
+	case "temporal":
+		return tuple.Attr{Name: name, Kind: tuple.Temporal}, nil
+	}
+	if strings.HasPrefix(typ, "c") {
+		if n, err := strconv.Atoi(typ[1:]); err == nil && n > 0 && n <= 2000 {
+			return tuple.Attr{Name: name, Kind: tuple.Char, Len: n}, nil
+		}
+	}
+	return tuple.Attr{}, fmt.Errorf("tquel: unknown attribute type %q", typ)
+}
+
+func (p *parser) modifyStmt() (Statement, error) {
+	p.next() // modify
+	rel, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokIdent, "to"); err != nil {
+		return nil, err
+	}
+	method, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	switch method {
+	case "hash", "isam", "heap", "btree":
+	default:
+		return nil, fmt.Errorf("tquel: unknown storage structure %q", method)
+	}
+	s := &ModifyStmt{Rel: rel, Method: method}
+	if p.accept(tokIdent, "on") {
+		attr, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		s.KeyAttr = attr
+	}
+	if p.accept(tokIdent, "where") {
+		if _, err := p.expect(tokIdent, "fillfactor"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokOp, "="); err != nil {
+			return nil, err
+		}
+		n, err := p.expect(tokInt, "")
+		if err != nil {
+			return nil, err
+		}
+		ff, _ := strconv.Atoi(n.text)
+		if ff < 1 || ff > 100 {
+			return nil, fmt.Errorf("tquel: fillfactor %d out of range [1,100]", ff)
+		}
+		s.Fillfactor = ff
+	}
+	return s, nil
+}
+
+func (p *parser) destroyStmt() (Statement, error) {
+	p.next() // destroy
+	rel, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return &DestroyStmt{Rel: rel}, nil
+}
+
+func (p *parser) copyStmt() (Statement, error) {
+	p.next() // copy
+	rel, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokOp, "(") {
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+	}
+	var into bool
+	switch {
+	case p.accept(tokIdent, "from"):
+	case p.accept(tokIdent, "into"):
+		into = true
+	default:
+		return nil, fmt.Errorf("tquel: copy needs `from` or `into`")
+	}
+	f, err := p.expect(tokString, "")
+	if err != nil {
+		return nil, err
+	}
+	return &CopyStmt{Rel: rel, Into: into, File: f.text}, nil
+}
+
+func (p *parser) indexStmt() (Statement, error) {
+	p.next() // index
+	if _, err := p.expect(tokIdent, "on"); err != nil {
+		return nil, err
+	}
+	rel, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokIdent, "is"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokOp, "("); err != nil {
+		return nil, err
+	}
+	attr, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokOp, ")"); err != nil {
+		return nil, err
+	}
+	s := &IndexStmt{Rel: rel, Name: name, Attr: attr, Structure: "heap", Levels: 1}
+	for p.accept(tokIdent, "with") {
+		k, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokOp, "="); err != nil {
+			return nil, err
+		}
+		switch k {
+		case "structure":
+			v, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if v != "heap" && v != "hash" {
+				return nil, fmt.Errorf("tquel: index structure must be heap or hash, got %q", v)
+			}
+			s.Structure = v
+		case "levels":
+			n, err := p.expect(tokInt, "")
+			if err != nil {
+				return nil, err
+			}
+			lv, _ := strconv.Atoi(n.text)
+			if lv != 1 && lv != 2 {
+				return nil, fmt.Errorf("tquel: index levels must be 1 or 2, got %d", lv)
+			}
+			s.Levels = lv
+		default:
+			return nil, fmt.Errorf("tquel: unknown index option %q", k)
+		}
+	}
+	return s, nil
+}
+
+// targetList parses `( target {, target} )`.
+func (p *parser) targetList() ([]Target, error) {
+	if _, err := p.expect(tokOp, "("); err != nil {
+		return nil, err
+	}
+	var ts []Target
+	for {
+		t, err := p.target()
+		if err != nil {
+			return nil, err
+		}
+		ts = append(ts, t)
+		if !p.accept(tokOp, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokOp, ")"); err != nil {
+		return nil, err
+	}
+	return ts, nil
+}
+
+// target parses `name = expr`, `var.attr` (result name attr), or
+// `var.all` (expanded by the executor).
+func (p *parser) target() (Target, error) {
+	// Lookahead for `ident =` (but not `ident ==`, which cannot occur).
+	if p.at(tokIdent, "") && p.toks[p.i+1].kind == tokOp && p.toks[p.i+1].text == "=" {
+		name := p.next().text
+		p.next() // =
+		e, err := p.expr()
+		if err != nil {
+			return Target{}, err
+		}
+		return Target{Name: name, Expr: e}, nil
+	}
+	e, err := p.expr()
+	if err != nil {
+		return Target{}, err
+	}
+	if a, ok := e.(*AttrExpr); ok {
+		return Target{Name: a.Attr, Expr: e}, nil
+	}
+	return Target{}, fmt.Errorf("tquel: target expression %s needs a result name (name = expr)", e)
+}
+
+// --- scalar expressions ---
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokIdent, "or") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokIdent, "and") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.accept(tokIdent, "not") {
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "not", X: x}, nil
+	}
+	return p.cmpExpr()
+}
+
+var cmpOps = map[string]bool{"=": true, "!=": true, "<": true, "<=": true, ">": true, ">=": true}
+
+// aggFns are the Quel aggregate functions accepted in target lists.
+var aggFns = map[string]bool{
+	"count": true, "sum": true, "avg": true, "min": true, "max": true, "any": true,
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokOp && cmpOps[p.peek().text] {
+		op := p.next().text
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOp && (p.peek().text == "+" || p.peek().text == "-") {
+		op := p.next().text
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOp && (p.peek().text == "*" || p.peek().text == "/") {
+		op := p.next().text
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.peek().kind == tokOp && p.peek().text == "-" {
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", X: x}, nil
+	}
+	return p.primaryExpr()
+}
+
+func (p *parser) primaryExpr() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokInt:
+		p.next()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("tquel: bad integer %q", t.text)
+		}
+		return &ConstExpr{Val: tuple.IntValue(n)}, nil
+	case tokFloat:
+		p.next()
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("tquel: bad number %q", t.text)
+		}
+		return &ConstExpr{Val: tuple.FloatValue(f)}, nil
+	case tokString:
+		p.next()
+		return &ConstExpr{Val: tuple.StrValue(t.text)}, nil
+	case tokOp:
+		if t.text == "(" {
+			p.next()
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokOp, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tokIdent:
+		// `start of <tival>` / `end of <tival>` project a temporal
+		// expression's endpoint into the scalar domain (target lists).
+		if (t.text == "start" || t.text == "end") && p.toks[p.i+1].kind == tokIdent && p.toks[p.i+1].text == "of" {
+			p.next()
+			p.next()
+			x, err := p.tival()
+			if err != nil {
+				return nil, err
+			}
+			return &TAttrExpr{X: x, End: t.text}, nil
+		}
+		// Quel aggregate functions, with the optional grouping `by` list.
+		if aggFns[t.text] && p.toks[p.i+1].kind == tokOp && p.toks[p.i+1].text == "(" {
+			p.next()
+			p.next()
+			arg, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			agg := &AggExpr{Fn: t.text, Arg: arg}
+			if p.accept(tokIdent, "by") {
+				for {
+					b, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					agg.By = append(agg.By, b)
+					if !p.accept(tokOp, ",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(tokOp, ")"); err != nil {
+				return nil, err
+			}
+			return agg, nil
+		}
+		p.next()
+		if p.accept(tokOp, ".") {
+			attr, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &AttrExpr{Var: t.text, Attr: attr}, nil
+		}
+		return nil, fmt.Errorf("tquel: bare identifier %q at offset %d (attributes are written var.attr)", t.text, t.pos)
+	}
+	return nil, fmt.Errorf("tquel: unexpected token %q at offset %d", t.text, t.pos)
+}
+
+// --- temporal expressions ---
+
+func (p *parser) texpr() (TExpr, error) { return p.tor() }
+
+func (p *parser) tor() (TExpr, error) {
+	l, err := p.tand()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokIdent, "or") {
+		r, err := p.tand()
+		if err != nil {
+			return nil, err
+		}
+		l = &TBinary{Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) tand() (TExpr, error) {
+	l, err := p.tnot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokIdent, "and") {
+		r, err := p.tnot()
+		if err != nil {
+			return nil, err
+		}
+		l = &TBinary{Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) tnot() (TExpr, error) {
+	if p.accept(tokIdent, "not") {
+		x, err := p.tnot()
+		if err != nil {
+			return nil, err
+		}
+		return &TUnary{Op: "not", X: x}, nil
+	}
+	return p.tchain()
+}
+
+// tchain parses a left-associative chain of overlap / extend / precede /
+// equal over interval terms.
+func (p *parser) tchain() (TExpr, error) {
+	l, err := p.tival()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(tokIdent, "overlap"):
+			op = "overlap"
+		case p.accept(tokIdent, "extend"):
+			op = "extend"
+		case p.accept(tokIdent, "precede"):
+			op = "precede"
+		case p.accept(tokIdent, "equal"):
+			op = "equal"
+		default:
+			return l, nil
+		}
+		r, err := p.tival()
+		if err != nil {
+			return nil, err
+		}
+		l = &TBinary{Op: op, L: l, R: r}
+	}
+}
+
+// tival parses an interval-valued term: `start of X`, `end of X`, a tuple
+// variable, a time constant, or a parenthesized temporal expression.
+func (p *parser) tival() (TExpr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokIdent && (t.text == "start" || t.text == "end"):
+		op := p.next().text
+		if _, err := p.expect(tokIdent, "of"); err != nil {
+			return nil, err
+		}
+		x, err := p.tival()
+		if err != nil {
+			return nil, err
+		}
+		return &TUnary{Op: op, X: x}, nil
+	case t.kind == tokIdent:
+		p.next()
+		return &TVar{Var: t.text}, nil
+	case t.kind == tokString:
+		p.next()
+		return &TConst{Text: t.text}, nil
+	case t.kind == tokOp && t.text == "(":
+		p.next()
+		e, err := p.texpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, fmt.Errorf("tquel: expected a temporal expression at offset %d, found %q", t.pos, t.text)
+}

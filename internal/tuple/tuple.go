@@ -1,0 +1,232 @@
+// Package tuple defines attribute types, relation schemas, and the binary
+// encoding of fixed-width tuples.
+//
+// The type system is Quel's (i1/i2/i4, f4/f8, cN) extended with the distinct
+// temporal type of Section 4 of the paper: a 32-bit integer holding seconds,
+// with its own external text representation (see package temporal).
+package tuple
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Kind enumerates attribute types.
+type Kind int
+
+// Attribute kinds. Temporal is stored like I4 but carries the distinct
+// date/time external form required by Section 4.
+const (
+	I1 Kind = iota
+	I2
+	I4
+	F4
+	F8
+	Char
+	Temporal
+)
+
+// String implements fmt.Stringer, using Quel's type spelling.
+func (k Kind) String() string {
+	switch k {
+	case I1:
+		return "i1"
+	case I2:
+		return "i2"
+	case I4:
+		return "i4"
+	case F4:
+		return "f4"
+	case F8:
+		return "f8"
+	case Char:
+		return "c"
+	case Temporal:
+		return "temporal"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Numeric reports whether the kind is an integer or floating type.
+func (k Kind) Numeric() bool { return k != Char }
+
+// Attr describes one attribute of a relation.
+type Attr struct {
+	Name string
+	Kind Kind
+	Len  int // byte length for Char; ignored otherwise
+}
+
+// Width returns the stored byte width of the attribute.
+func (a Attr) Width() int {
+	switch a.Kind {
+	case I1:
+		return 1
+	case I2:
+		return 2
+	case I4, F4, Temporal:
+		return 4
+	case F8:
+		return 8
+	case Char:
+		return a.Len
+	}
+	return 0
+}
+
+// String renders the attribute as in a TQuel create statement.
+func (a Attr) String() string {
+	if a.Kind == Char {
+		return fmt.Sprintf("%s = c%d", a.Name, a.Len)
+	}
+	return fmt.Sprintf("%s = %s", a.Name, a.Kind)
+}
+
+// Schema is an ordered list of attributes with precomputed field offsets.
+type Schema struct {
+	attrs   []Attr
+	offsets []int
+	width   int
+	byName  map[string]int
+}
+
+// NewSchema builds a schema from attributes in declaration order.
+func NewSchema(attrs ...Attr) *Schema {
+	s := &Schema{
+		attrs:   append([]Attr(nil), attrs...),
+		offsets: make([]int, len(attrs)),
+		byName:  make(map[string]int, len(attrs)),
+	}
+	off := 0
+	for i, a := range s.attrs {
+		s.offsets[i] = off
+		off += a.Width()
+		s.byName[strings.ToLower(a.Name)] = i
+	}
+	s.width = off
+	return s
+}
+
+// NumAttrs returns the attribute count.
+func (s *Schema) NumAttrs() int { return len(s.attrs) }
+
+// Attr returns attribute i.
+func (s *Schema) Attr(i int) Attr { return s.attrs[i] }
+
+// Attrs returns a copy of the attribute list.
+func (s *Schema) Attrs() []Attr { return append([]Attr(nil), s.attrs...) }
+
+// Width is the fixed byte width of an encoded tuple.
+func (s *Schema) Width() int { return s.width }
+
+// Offset returns the byte offset of attribute i within an encoded tuple.
+func (s *Schema) Offset(i int) int { return s.offsets[i] }
+
+// Index returns the position of the named attribute (case-insensitive),
+// or -1 if absent.
+func (s *Schema) Index(name string) int {
+	if i, ok := s.byName[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// Int reads an integer-kind attribute (I1/I2/I4/Temporal) as int64.
+func (s *Schema) Int(tup []byte, i int) int64 {
+	off := s.offsets[i]
+	switch s.attrs[i].Kind {
+	case I1:
+		return int64(int8(tup[off]))
+	case I2:
+		return int64(int16(binary.LittleEndian.Uint16(tup[off:])))
+	case I4, Temporal:
+		return int64(int32(binary.LittleEndian.Uint32(tup[off:])))
+	}
+	panic(fmt.Sprintf("tuple: Int on %s attribute %q", s.attrs[i].Kind, s.attrs[i].Name))
+}
+
+// SetInt writes an integer-kind attribute.
+func (s *Schema) SetInt(tup []byte, i int, v int64) {
+	off := s.offsets[i]
+	switch s.attrs[i].Kind {
+	case I1:
+		tup[off] = byte(int8(v))
+	case I2:
+		binary.LittleEndian.PutUint16(tup[off:], uint16(int16(v)))
+	case I4, Temporal:
+		binary.LittleEndian.PutUint32(tup[off:], uint32(int32(v)))
+	default:
+		panic(fmt.Sprintf("tuple: SetInt on %s attribute %q", s.attrs[i].Kind, s.attrs[i].Name))
+	}
+}
+
+// Float reads a floating attribute.
+func (s *Schema) Float(tup []byte, i int) float64 {
+	off := s.offsets[i]
+	switch s.attrs[i].Kind {
+	case F4:
+		return float64(math.Float32frombits(binary.LittleEndian.Uint32(tup[off:])))
+	case F8:
+		return math.Float64frombits(binary.LittleEndian.Uint64(tup[off:]))
+	}
+	panic(fmt.Sprintf("tuple: Float on %s attribute %q", s.attrs[i].Kind, s.attrs[i].Name))
+}
+
+// SetFloat writes a floating attribute.
+func (s *Schema) SetFloat(tup []byte, i int, v float64) {
+	off := s.offsets[i]
+	switch s.attrs[i].Kind {
+	case F4:
+		binary.LittleEndian.PutUint32(tup[off:], math.Float32bits(float32(v)))
+	case F8:
+		binary.LittleEndian.PutUint64(tup[off:], math.Float64bits(v))
+	default:
+		panic(fmt.Sprintf("tuple: SetFloat on %s attribute %q", s.attrs[i].Kind, s.attrs[i].Name))
+	}
+}
+
+// Str reads a Char attribute, trimming trailing NULs (Quel pads with blanks;
+// we pad with NULs internally and trim on read).
+func (s *Schema) Str(tup []byte, i int) string {
+	off := s.offsets[i]
+	b := tup[off : off+s.attrs[i].Len]
+	end := len(b)
+	for end > 0 && b[end-1] == 0 {
+		end--
+	}
+	return string(b[:end])
+}
+
+// SetStr writes a Char attribute, truncating or NUL-padding to length.
+func (s *Schema) SetStr(tup []byte, i int, v string) {
+	off := s.offsets[i]
+	n := s.attrs[i].Len
+	b := tup[off : off+n]
+	copy(b, v)
+	for j := len(v); j < n; j++ {
+		b[j] = 0
+	}
+}
+
+// NewTuple allocates a zeroed tuple of the schema's width.
+func (s *Schema) NewTuple() []byte { return make([]byte, s.width) }
+
+// Project builds a schema from a subset of attributes of s, renaming as
+// requested (empty name keeps the original).
+func (s *Schema) Project(indexes []int, names []string) *Schema {
+	attrs := make([]Attr, len(indexes))
+	for j, i := range indexes {
+		attrs[j] = s.attrs[i]
+		if j < len(names) && names[j] != "" {
+			attrs[j].Name = names[j]
+		}
+	}
+	return NewSchema(attrs...)
+}
+
+// Concat returns a schema holding s's attributes followed by t's.
+func Concat(s, t *Schema) *Schema {
+	return NewSchema(append(s.Attrs(), t.Attrs()...)...)
+}

@@ -1,0 +1,61 @@
+package tuple
+
+import (
+	"testing"
+
+	"tdbms/internal/temporal"
+)
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{IntValue(42), "42"},
+		{IntValue(-7), "-7"},
+		{FloatValue(2.5), "2.5"},
+		{StrValue("hey"), "hey"},
+		{TemporalValue(int64(temporal.Date(1980, 2, 15, 8, 30, 45))), "08:30:45 2/15/1980"},
+		{TemporalValue(int64(temporal.Forever)), "forever"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestValueConversions(t *testing.T) {
+	if IntValue(3).AsFloat() != 3 {
+		t.Error("int AsFloat")
+	}
+	if FloatValue(3.9).AsInt() != 3 {
+		t.Error("float AsInt truncation")
+	}
+	if !TemporalValue(5).IsNumeric() || StrValue("x").IsNumeric() {
+		t.Error("IsNumeric")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		I1: "i1", I2: "i2", I4: "i4", F4: "f4", F8: "f8",
+		Char: "c", Temporal: "temporal",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Errorf("unknown kind: %q", got)
+	}
+}
+
+func TestAttrString(t *testing.T) {
+	if got := (Attr{Name: "s", Kind: Char, Len: 96}).String(); got != "s = c96" {
+		t.Errorf("char attr: %q", got)
+	}
+	if got := (Attr{Name: "n", Kind: I4}).String(); got != "n = i4" {
+		t.Errorf("i4 attr: %q", got)
+	}
+}
