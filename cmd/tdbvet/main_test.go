@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// TestSelfCheck runs the full suite over the real module and demands a
+// clean bill: any invariant regression fails `go test ./...` directly,
+// CI script or not.
+func TestSelfCheck(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run(&out, &errOut, []string{"./..."})
+	if code != 0 {
+		t.Fatalf("tdbvet on the module exited %d, want 0\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run should print nothing, got:\n%s", out.String())
+	}
+}
+
+// TestExitCodeOnViolation checks the non-zero exit and the file:line:col
+// diagnostic format on a violating tree.
+func TestExitCodeOnViolation(t *testing.T) {
+	dir := t.TempDir()
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module fixturemod\n\ngo 1.22\n"), 0o644))
+	must(os.MkdirAll(filepath.Join(dir, "internal", "blob"), 0o755))
+	must(os.WriteFile(filepath.Join(dir, "internal", "blob", "blob.go"), []byte(`package blob
+
+import "os"
+
+func Drop(path string) {
+	os.Remove(path)
+}
+`), 0o644))
+
+	cwd, err := os.Getwd()
+	must(err)
+	must(os.Chdir(dir))
+	defer func() {
+		if err := os.Chdir(cwd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	var out, errOut bytes.Buffer
+	code := run(&out, &errOut, []string{"./..."})
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr: %s", code, errOut.String())
+	}
+	format := regexp.MustCompile(`(?m)^.+blob\.go:6:2: errcheck: .+$`)
+	if !format.Match(out.Bytes()) {
+		t.Errorf("diagnostics not in file:line:col: check: message form:\n%s", out.String())
+	}
+	if !bytes.Contains(errOut.Bytes(), []byte("1 invariant violation")) {
+		t.Errorf("stderr should summarize the violation count, got: %s", errOut.String())
+	}
+}
+
+func TestChecksFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(&out, &errOut, []string{"-checks", "nosuchcheck", "./..."}); code != 2 {
+		t.Errorf("unknown check name should exit 2, got %d", code)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run(&out, &errOut, []string{"-checks", "layering,determinism", "./..."}); code != 0 {
+		t.Errorf("narrowed clean run should exit 0, got %d\n%s%s", code, out.String(), errOut.String())
+	}
+}

@@ -1,0 +1,101 @@
+// Package analysistest runs one analyzer over a golden fixture file and
+// compares the diagnostics against a .golden sidecar. Fixtures live under
+// the check package's testdata/ directory, are excluded from the build,
+// and may import real module packages (tdbms/internal/buffer, ...): they
+// are type-checked through the same loader cmd/tdbvet uses.
+package analysistest
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tdbms/internal/analysis"
+)
+
+// update rewrites the .golden sidecars instead of comparing against them:
+//
+//	go test ./internal/analysis/... -update
+var update = flag.Bool("update", false, "rewrite golden files with current analyzer output")
+
+// Run type-checks the fixture file and asserts that the analyzer's
+// diagnostics exactly match fixture+".golden" (absent or empty golden
+// means the fixture must be clean). Positions are rendered with the file
+// basename so the golden is path-independent.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	got := Diagnostics(t, a, fixture)
+	golden := fixture + ".golden"
+	if *update {
+		writeGolden(t, golden, got)
+		return
+	}
+	want := readGolden(t, golden)
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("%s: diagnostics mismatch\n--- got ---\n%s\n--- want ---\n%s",
+			fixture, strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+}
+
+// Diagnostics runs the analyzer over the fixture and returns the rendered
+// diagnostic lines.
+func Diagnostics(t *testing.T, a *analysis.Analyzer, fixture string) []string {
+	t.Helper()
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("finding module root: %v", err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatalf("building loader: %v", err)
+	}
+	abs, err := filepath.Abs(fixture)
+	if err != nil {
+		t.Fatalf("resolving fixture: %v", err)
+	}
+	pkg, err := loader.LoadFiles("fixture", abs)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", fixture, err)
+	}
+	var out []string
+	for _, d := range analysis.RunAnalyzer(a, pkg) {
+		d.Position.Filename = filepath.Base(d.Position.Filename)
+		out = append(out, d.String())
+	}
+	return out
+}
+
+func writeGolden(t *testing.T, path string, lines []string) {
+	t.Helper()
+	if len(lines) == 0 {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			t.Fatalf("removing golden %s: %v", path, err)
+		}
+		return
+	}
+	//tdbvet:ignore layering writes a test golden file, not page data
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatalf("writing golden %s: %v", path, err)
+	}
+}
+
+func readGolden(t *testing.T, path string) []string {
+	t.Helper()
+	//tdbvet:ignore layering reads a test golden file, not page data
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		t.Fatalf("reading golden %s: %v", path, err)
+	}
+	var out []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if line = strings.TrimRight(line, " \t"); line != "" {
+			out = append(out, line)
+		}
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+// Clean fixture for the copylocks-plus check: pointers everywhere, plus
+// composite-literal construction (a first use, not a copy).
+package fixture
+
+import (
+	"sync"
+
+	"tdbms/internal/buffer"
+	"tdbms/internal/storage"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byPointer(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func fresh() *guarded {
+	g := guarded{n: 1}
+	return &g
+}
+
+func pointersOnly(b *buffer.Buffered, m *storage.Mem) int64 {
+	return b.Stats().Reads + int64(m.NumPages())
+}
+
+func statsAreValues(b *buffer.Buffered) buffer.Stats {
+	st := b.Stats()
+	return st.Add(buffer.Stats{Hits: 1})
+}

@@ -1,0 +1,40 @@
+// Violating fixture for the copylocks-plus check: by-value copies of a
+// sync-bearing struct and of the repo's counter-bearing types.
+package fixture
+
+import (
+	"sync"
+
+	"tdbms/internal/buffer"
+	"tdbms/internal/storage"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValueParam(g guarded) int {
+	return g.n
+}
+
+func assignCopy(g *guarded) {
+	h := *g
+	h.n++
+}
+
+func returnCopy(b *buffer.Buffered) buffer.Buffered {
+	return *b
+}
+
+func memByValue(m storage.Mem) int {
+	return m.NumPages()
+}
+
+func rangeCopy(gs []guarded) int {
+	total := 0
+	for _, g := range gs {
+		total += g.n
+	}
+	return total
+}

@@ -1,0 +1,83 @@
+// Package determinism enforces reproducibility of the benchmark and
+// figure-generation paths (internal/bench): regenerated figures must be
+// bit-for-bit identical across runs, or they cannot be compared across
+// commits. It flags the three usual sources of run-to-run drift:
+//
+//  1. time.Now — wall-clock values leak into measurements; the benchmark
+//     must use its simulated clock.
+//  2. Package-level math/rand functions — they draw from the globally
+//     seeded source. Explicit rand.New(rand.NewSource(seed)) streams are
+//     allowed; that is how the workload is generated reproducibly.
+//  3. Ranging over a map — Go randomizes map iteration order, so any
+//     output emitted (or sequence built) inside such a loop varies between
+//     runs. Sort the keys first, or annotate with //tdbvet:ignore
+//     determinism <reason> when order provably cannot reach the output.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tdbms/internal/analysis"
+)
+
+// allowedRand lists the math/rand package-level functions that construct
+// explicitly seeded streams rather than drawing from the global source.
+var allowedRand = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+// Analyzer is the determinism check.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "no wall-clock time, global rand, or map-ordered iteration in measurement/figure paths",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	checkUses(pass)
+	checkMapRange(pass)
+}
+
+func checkUses(pass *analysis.Pass) {
+	for ident, obj := range pass.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			continue // methods (e.g. on an explicit *rand.Rand) are fine
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if fn.Name() == "Now" {
+				pass.Report(ident.Pos(),
+					"time.Now in a measurement path makes figure output depend on the wall clock; use the simulated clock")
+			}
+		case "math/rand", "math/rand/v2":
+			if !allowedRand[fn.Name()] {
+				pass.Report(ident.Pos(),
+					"global rand.%s is implicitly seeded; draw from an explicit rand.New(rand.NewSource(seed)) stream",
+					fn.Name())
+			}
+		}
+	}
+}
+
+func checkMapRange(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				pass.Report(rs.Pos(),
+					"ranging over a map iterates in randomized order; sort the keys before emitting figure rows")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,16 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"tdbms/internal/analysis/analysistest"
+	"tdbms/internal/analysis/determinism"
+)
+
+func TestViolating(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "testdata/violating.go")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "testdata/clean.go")
+}

@@ -1,0 +1,23 @@
+// Violating fixture for the determinism check: wall-clock time, globally
+// seeded rand, and map-ordered iteration in an output path.
+package fixture
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().Unix()
+}
+
+func draw() int {
+	return rand.Intn(6)
+}
+
+func emitRows(rows map[string]int64) {
+	for id, v := range rows {
+		fmt.Printf("%s %d\n", id, v)
+	}
+}

@@ -1,0 +1,36 @@
+// Clean fixture for the errcheck check: handled errors, the explicit
+// "_ =" discard idiom, infallible in-memory sinks, and a justified
+// directive.
+package fixture
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func handled(path string) error {
+	if err := os.Remove(path); err != nil {
+		return err
+	}
+	return nil
+}
+
+func explicitDiscard(f *os.File) {
+	_ = f.Close()
+}
+
+func render(parts []string) string {
+	var b strings.Builder
+	for i, p := range parts {
+		b.WriteString(p)
+		fmt.Fprintf(&b, " #%d", i)
+	}
+	return b.String()
+}
+
+func sanctioned(digits string) int {
+	n, _ := strconv.Atoi(digits) //tdbvet:ignore errcheck fixture input is a validated digit run
+	return n
+}

@@ -1,0 +1,22 @@
+// Violating fixture for the errcheck check: errors discarded as bare
+// statements, under defer/go, and swallowed by a blank identifier.
+package fixture
+
+import "os"
+
+func drop(path string) {
+	os.Remove(path)
+}
+
+func dropDeferred(f *os.File) {
+	defer f.Close()
+}
+
+func dropAsync(f *os.File) {
+	go f.Sync()
+}
+
+func swallow(path string) string {
+	data, _ := os.ReadFile(path)
+	return string(data)
+}

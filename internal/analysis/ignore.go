@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// The allowlist directive. A violation is intentionally permitted by
+// writing, on the flagged line or the line directly above it:
+//
+//	//tdbvet:ignore <check> <reason>
+//
+// The check name and a non-empty reason are both mandatory, so every
+// exception carries its justification into review. Malformed directives
+// are themselves diagnostics (see CheckDirectives).
+const directivePrefix = "//tdbvet:ignore"
+
+// directive is one parsed //tdbvet:ignore comment.
+type directive struct {
+	pos    token.Position
+	check  string
+	reason string
+}
+
+// directivesIn collects every tdbvet:ignore comment in the package.
+func directivesIn(pkg *Package) []directive {
+	var out []directive
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				fields := strings.Fields(rest)
+				d := directive{pos: pkg.Fset.Position(c.Pos())}
+				if len(fields) > 0 {
+					d.check = fields[0]
+				}
+				if len(fields) > 1 {
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// filterIgnored drops diagnostics covered by a well-formed ignore
+// directive on the same line or the line immediately above.
+func filterIgnored(pkg *Package, diags []Diagnostic) []Diagnostic {
+	dirs := directivesIn(pkg)
+	if len(dirs) == 0 {
+		return diags
+	}
+	covered := map[string]bool{} // "file\x00line\x00check"
+	for _, d := range dirs {
+		if d.check == "" || d.reason == "" {
+			continue // malformed; CheckDirectives reports it
+		}
+		covered[coverKey(d.pos.Filename, d.pos.Line, d.check)] = true
+	}
+	var out []Diagnostic
+	for _, diag := range diags {
+		p := diag.Position
+		if covered[coverKey(p.Filename, p.Line, diag.Check)] ||
+			covered[coverKey(p.Filename, p.Line-1, diag.Check)] {
+			continue
+		}
+		out = append(out, diag)
+	}
+	return out
+}
+
+func coverKey(file string, line int, check string) string {
+	return file + "\x00" + strconv.Itoa(line) + "\x00" + check
+}
+
+// CheckDirectives reports malformed ignore directives (missing check name
+// or reason) and directives naming a check that does not exist. known maps
+// valid check names.
+func CheckDirectives(pkg *Package, known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range directivesIn(pkg) {
+		switch {
+		case d.check == "" || d.reason == "":
+			out = append(out, Diagnostic{
+				Check:    "directive",
+				Position: d.pos,
+				Message:  "malformed //tdbvet:ignore: want \"//tdbvet:ignore <check> <reason>\"",
+			})
+		case !known[d.check]:
+			out = append(out, Diagnostic{
+				Check:    "directive",
+				Position: d.pos,
+				Message:  "unknown check " + strconv.Quote(d.check) + " in //tdbvet:ignore",
+			})
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}

@@ -1,0 +1,115 @@
+// Package layering enforces the storage-layering invariant behind the
+// paper's measurements: every page touch must flow through the buffer
+// manager so that buffer.Stats counts it. Concretely:
+//
+//  1. Raw file I/O (os.Open, os.OpenFile, os.Create, os.ReadFile, ...)
+//     is reserved to internal/storage; any other internal package opening
+//     files directly could move page traffic outside the counted path.
+//  2. The buffer.Stats counters may be mutated only by internal/buffer
+//     itself; everyone else gets a copy via (*Buffered).Stats().
+package layering
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tdbms/internal/analysis"
+)
+
+const (
+	bufferPkg  = "tdbms/internal/buffer"
+	storagePkg = "tdbms/internal/storage"
+)
+
+// forbiddenIO lists the file-opening and whole-file I/O functions that
+// constitute raw file access. Functions that only manipulate metadata
+// (Remove, Rename, MkdirAll, Stat) are deliberately not listed: they move
+// no page-sized data past the buffer manager.
+var forbiddenIO = map[string]map[string]bool{
+	"os": {
+		"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+		"ReadFile": true, "WriteFile": true, "NewFile": true,
+	},
+	"io/ioutil": {
+		"ReadFile": true, "WriteFile": true, "TempFile": true,
+	},
+}
+
+// Analyzer is the layering check.
+var Analyzer = &analysis.Analyzer{
+	Name: "layering",
+	Doc:  "raw file I/O only in internal/storage; buffer.Stats mutated only by internal/buffer",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	if pass.Pkg.Path() != storagePkg {
+		checkRawIO(pass)
+	}
+	if pass.Pkg.Path() != bufferPkg {
+		checkStatsMutation(pass)
+	}
+}
+
+// checkRawIO flags uses of the forbidden file-I/O functions.
+func checkRawIO(pass *analysis.Pass) {
+	for ident, obj := range pass.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			continue // method, not a package-level function
+		}
+		names := forbiddenIO[fn.Pkg().Path()]
+		if names == nil || !names[fn.Name()] {
+			continue
+		}
+		pass.Report(ident.Pos(),
+			"raw file I/O via %s.%s outside internal/storage bypasses the buffer manager's counted I/O path",
+			fn.Pkg().Name(), fn.Name())
+	}
+}
+
+// checkStatsMutation flags assignments and ++/-- on fields of
+// buffer.Stats outside the buffer package.
+func checkStatsMutation(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range stmt.Lhs {
+					reportIfStatsField(pass, lhs)
+				}
+			case *ast.IncDecStmt:
+				reportIfStatsField(pass, stmt.X)
+			}
+			return true
+		})
+	}
+}
+
+func reportIfStatsField(pass *analysis.Pass, expr ast.Expr) {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection, ok := pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return
+	}
+	if named.Obj().Pkg().Path() != bufferPkg || named.Obj().Name() != "Stats" {
+		return
+	}
+	pass.Report(sel.Pos(),
+		"mutation of buffer.Stats.%s outside internal/buffer falsifies the benchmark's I/O counters",
+		sel.Sel.Name)
+}

@@ -1,0 +1,16 @@
+package layering_test
+
+import (
+	"testing"
+
+	"tdbms/internal/analysis/analysistest"
+	"tdbms/internal/analysis/layering"
+)
+
+func TestViolating(t *testing.T) {
+	analysistest.Run(t, layering.Analyzer, "testdata/violating.go")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, layering.Analyzer, "testdata/clean.go")
+}

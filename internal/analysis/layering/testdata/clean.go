@@ -1,0 +1,25 @@
+// Clean fixture for the layering check: reading Stats by value and going
+// through the buffer manager are both allowed; only raw file I/O and
+// counter mutation are reserved.
+package fixture
+
+import (
+	"os"
+
+	"tdbms/internal/buffer"
+	"tdbms/internal/page"
+)
+
+func totalIO(b *buffer.Buffered) int64 {
+	st := b.Stats()
+	return st.Reads + st.Writes
+}
+
+func countedFetch(b *buffer.Buffered, id page.ID) (*page.Page, error) {
+	return b.Fetch(id)
+}
+
+func sanctioned(path string) ([]byte, error) {
+	//tdbvet:ignore layering fixture exercises the allowlist directive
+	return os.ReadFile(path)
+}

@@ -1,0 +1,27 @@
+// Violating fixture for the layering check: raw file I/O outside
+// internal/storage and buffer.Stats mutation outside internal/buffer.
+package fixture
+
+import (
+	"os"
+
+	"tdbms/internal/buffer"
+)
+
+func openRaw(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func dumpRaw(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+func falsifyCounters(s *buffer.Stats) {
+	s.Reads++
+	s.Writes += 2
+	s.Hits = 0
+}

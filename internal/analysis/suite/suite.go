@@ -1,0 +1,146 @@
+// Package suite wires the repo's invariant checks to the packages they
+// govern. The analyzers themselves (internal/analysis/*) are scope-free;
+// this package encodes the repo policy: which layers each invariant
+// binds, and how cmd/tdbvet walks the module.
+package suite
+
+import (
+	"fmt"
+	"strings"
+
+	"tdbms/internal/analysis"
+	"tdbms/internal/analysis/copylocks"
+	"tdbms/internal/analysis/determinism"
+	"tdbms/internal/analysis/errcheck"
+	"tdbms/internal/analysis/layering"
+)
+
+// Scoped pairs an analyzer with the set of packages it applies to.
+// modPath is the module path, pkgPath the package under consideration.
+type Scoped struct {
+	Analyzer *analysis.Analyzer
+	Applies  func(modPath, pkgPath string) bool
+}
+
+func underInternal(modPath, pkgPath string) bool {
+	return strings.HasPrefix(pkgPath, modPath+"/internal/")
+}
+
+// Checks is the full tdbvet suite with its scoping policy:
+//
+//   - layering guards every internal package (internal/storage itself and
+//     internal/buffer are exempted inside the analyzer);
+//   - determinism guards the measurement/figure paths in internal/bench;
+//   - errcheck guards all of internal/;
+//   - copylocks guards the whole module, examples and commands included.
+var Checks = []Scoped{
+	{layering.Analyzer, underInternal},
+	{determinism.Analyzer, func(modPath, pkgPath string) bool {
+		return pkgPath == modPath+"/internal/bench"
+	}},
+	{errcheck.Analyzer, underInternal},
+	{copylocks.Analyzer, func(modPath, pkgPath string) bool { return true }},
+}
+
+// KnownChecks maps the valid check names (for directive validation).
+func KnownChecks() map[string]bool {
+	out := make(map[string]bool, len(Checks))
+	for _, c := range Checks {
+		out[c.Analyzer.Name] = true
+	}
+	return out
+}
+
+// Run applies the full suite; see RunChecks.
+func Run(modRoot string, patterns []string) ([]analysis.Diagnostic, error) {
+	return RunChecks(modRoot, patterns, Checks)
+}
+
+// RunChecks loads the requested packages of the module rooted at modRoot
+// and applies every in-scope analyzer from checks. Patterns follow the go
+// tool's shape: "./..." for the whole module, "dir/..." for a subtree, or
+// a plain module-relative directory. Diagnostics come back sorted by
+// position.
+func RunChecks(modRoot string, patterns []string, checks []Scoped) ([]analysis.Diagnostic, error) {
+	loader, err := analysis.NewLoader(modRoot)
+	if err != nil {
+		return nil, err
+	}
+	paths, err := expand(loader, patterns)
+	if err != nil {
+		return nil, err
+	}
+	known := KnownChecks()
+	var diags []analysis.Diagnostic
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, analysis.CheckDirectives(pkg, known)...)
+		for _, c := range checks {
+			if !c.Applies(loader.ModPath, path) {
+				continue
+			}
+			diags = append(diags, analysis.RunAnalyzer(c.Analyzer, pkg)...)
+		}
+	}
+	return diags, nil
+}
+
+// expand resolves command-line patterns to module package paths.
+func expand(loader *analysis.Loader, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	all, err := loader.ModulePackages()
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			for _, p := range all {
+				add(p)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			prefix := modRelative(loader.ModPath, strings.TrimSuffix(pat, "/..."))
+			matched := false
+			for _, p := range all {
+				if p == prefix || strings.HasPrefix(p, prefix+"/") {
+					add(p)
+					matched = true
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("pattern %q matches no packages", pat)
+			}
+		default:
+			add(modRelative(loader.ModPath, pat))
+		}
+	}
+	return out, nil
+}
+
+// modRelative turns "./internal/bench" or "internal/bench" into the full
+// import path; a pattern already starting with the module path passes
+// through.
+func modRelative(modPath, pat string) string {
+	pat = strings.TrimPrefix(pat, "./")
+	pat = strings.TrimSuffix(pat, "/")
+	if pat == "" || pat == "." {
+		return modPath
+	}
+	if pat == modPath || strings.HasPrefix(pat, modPath+"/") {
+		return pat
+	}
+	return modPath + "/" + pat
+}

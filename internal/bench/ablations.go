@@ -170,7 +170,7 @@ func RunLoadingAblation(maxUC int, progress func(loading int)) (*LoadingAblation
 		if err != nil {
 			return nil, err
 		}
-		for q := range r.Cost {
+		for _, q := range []string{"Q02", "Q07", "Q10"} {
 			series := make([]int64, 0, maxUC+1)
 			for uc := 0; uc <= maxUC; uc++ {
 				series = append(series, s.Cost[q][uc].Input)

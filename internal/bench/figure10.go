@@ -48,8 +48,8 @@ func measureInputs(b *DB) (map[string]int64, error) {
 	if err != nil {
 		return nil, err
 	}
-	for id, m := range ms {
-		if m.Applies {
+	for _, id := range QueryIDs {
+		if m := ms[id]; m.Applies {
 			out[id] = m.Input
 		}
 	}

@@ -90,10 +90,14 @@ func Figure5(series map[Key]*Series) string {
 		header2 = append(header2, fmt.Sprintf("%d%%", k.L), "")
 		header3 = append(header3, "H", "I")
 	}
+	// Take the reference update count from the first database in column
+	// order; picking it out of the map would depend on iteration order.
 	var n int
-	for _, s := range series {
-		n = refUC(s)
-		break
+	for _, k := range AllKeys() {
+		if s, ok := series[k]; ok {
+			n = refUC(s)
+			break
+		}
 	}
 	row0 := []string{"Size, UC=0"}
 	rowN := []string{fmt.Sprintf("Size, UC=%d", n)}
@@ -339,6 +343,7 @@ func GrowthRates(s *Series) map[string]float64 {
 // sortedIDs returns the keys of a rate map in query order.
 func sortedIDs(m map[string]float64) []string {
 	var out []string
+	//tdbvet:ignore determinism keys are sorted immediately below
 	for id := range m {
 		out = append(out, id)
 	}

@@ -25,16 +25,23 @@ func (db *Database) execCopy(s *tquel.CopyStmt) (*Result, error) {
 	return db.copyIn(s)
 }
 
-func (db *Database) copyOut(s *tquel.CopyStmt) (*Result, error) {
+func (db *Database) copyOut(s *tquel.CopyStmt) (res *Result, retErr error) {
 	h, err := db.handle(s.Rel)
 	if err != nil {
 		return nil, err
 	}
+	//tdbvet:ignore layering copy writes an external dump file, not counted page I/O
 	f, err := os.Create(s.File)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	// A dump that failed to reach disk must not report success: surface the
+	// close error unless an earlier one already did.
+	defer func() {
+		if cerr := f.Close(); cerr != nil && retErr == nil {
+			res, retErr = nil, cerr
+		}
+	}()
 	w := bufio.NewWriter(f)
 	desc := h.desc
 	n := 0
@@ -72,11 +79,12 @@ func (db *Database) copyIn(s *tquel.CopyStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	//tdbvet:ignore layering copy reads an external dump file, not counted page I/O
 	f, err := os.Open(s.File)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only; nothing to flush
 	desc := h.desc
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

@@ -46,7 +46,7 @@ func (db *Database) execCreate(s *tquel.CreateStmt) (*Result, error) {
 	}
 	buf, err := db.newBuffer(s.Rel)
 	if err != nil {
-		db.cat.Destroy(s.Rel)
+		_ = db.cat.Destroy(s.Rel) // best-effort rollback on an already-failing path
 		return nil, err
 	}
 	h := &relHandle{
@@ -208,11 +208,11 @@ func (db *Database) execDestroy(s *tquel.DestroyStmt) (*Result, error) {
 				continue
 			}
 			for _, b := range ix.Buffers() {
-				b.Close()
+				_ = b.Close() // the index is being destroyed with its files
 			}
 			if db.opts.Dir != "" {
-				os.Remove(filepath.Join(db.opts.Dir, relName+"~ix~"+name+".tdb"))
-				os.Remove(filepath.Join(db.opts.Dir, relName+"~ixh~"+name+".tdb"))
+				_ = os.Remove(filepath.Join(db.opts.Dir, relName+"~ix~"+name+".tdb"))
+				_ = os.Remove(filepath.Join(db.opts.Dir, relName+"~ixh~"+name+".tdb"))
 			}
 			delete(rh.indexes, name)
 			if err := db.saveCatalog(); err != nil {
@@ -223,20 +223,20 @@ func (db *Database) execDestroy(s *tquel.DestroyStmt) (*Result, error) {
 		return nil, err
 	}
 	for _, b := range h.src.Buffers() {
-		b.Close()
+		_ = b.Close() // the relation is being destroyed with its files
 	}
 	for name, ix := range h.indexes {
 		for _, b := range ix.Buffers() {
-			b.Close()
+			_ = b.Close()
 		}
 		if db.opts.Dir != "" {
 			rel := strings.ToLower(s.Rel)
-			os.Remove(filepath.Join(db.opts.Dir, rel+"~ix~"+name+".tdb"))
-			os.Remove(filepath.Join(db.opts.Dir, rel+"~ixh~"+name+".tdb"))
+			_ = os.Remove(filepath.Join(db.opts.Dir, rel+"~ix~"+name+".tdb"))
+			_ = os.Remove(filepath.Join(db.opts.Dir, rel+"~ixh~"+name+".tdb"))
 		}
 	}
 	if db.opts.Dir != "" {
-		os.Remove(filepath.Join(db.opts.Dir, strings.ToLower(s.Rel)+".tdb"))
+		_ = os.Remove(filepath.Join(db.opts.Dir, strings.ToLower(s.Rel)+".tdb"))
 	}
 	if err := db.cat.Destroy(s.Rel); err != nil {
 		return nil, err

@@ -36,7 +36,7 @@ func (db *Database) execRetrieve(s *tquel.RetrieveStmt) (*Result, error) {
 		res.Output += st.Writes
 		res.TempInput += st.Reads
 		res.TempOutput += st.Writes
-		tmp.hf.Buffer().Close()
+		_ = tmp.hf.Buffer().Close() // temporaries are memory-backed and being discarded
 	}
 	if s.Unique {
 		res.Rows = dedupeRows(res.Rows)

@@ -95,11 +95,11 @@ func OpenDisk(path string) (*Disk, error) {
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close() // already failing; the open error wins
 		return nil, err
 	}
 	if st.Size()%page.Size != 0 {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("storage: %s size %d is not a multiple of the page size", path, st.Size())
 	}
 	return &Disk{f: f, n: int(st.Size() / page.Size)}, nil

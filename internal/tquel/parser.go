@@ -440,7 +440,7 @@ func (p *parser) modifyStmt() (Statement, error) {
 		if err != nil {
 			return nil, err
 		}
-		ff, _ := strconv.Atoi(n.text)
+		ff, _ := strconv.Atoi(n.text) //tdbvet:ignore errcheck tokInt is a lexer-validated digit run
 		if ff < 1 || ff > 100 {
 			return nil, fmt.Errorf("tquel: fillfactor %d out of range [1,100]", ff)
 		}
@@ -534,7 +534,7 @@ func (p *parser) indexStmt() (Statement, error) {
 			if err != nil {
 				return nil, err
 			}
-			lv, _ := strconv.Atoi(n.text)
+			lv, _ := strconv.Atoi(n.text) //tdbvet:ignore errcheck tokInt is a lexer-validated digit run
 			if lv != 1 && lv != 2 {
 				return nil, fmt.Errorf("tquel: index levels must be 1 or 2, got %d", lv)
 			}
