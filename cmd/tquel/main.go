@@ -9,7 +9,8 @@
 //
 //	\g (or a blank line)  execute the buffered statements
 //	\p                    print the buffer
-//	\plan                 explain the buffered retrieve instead of running it
+//	\plan                 run the buffered retrieve and show its executed
+//	                      plan with per-operator page I/O (result discarded)
 //	\r                    reset the buffer
 //	\l                    list relations
 //	\now [time]           show or set the logical clock

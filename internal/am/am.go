@@ -36,6 +36,10 @@ func (k Key) Extract(tup []byte) int64 {
 type Iterator interface {
 	// Next returns the next tuple and its address. ok is false at the end.
 	Next() (rid page.RID, tup []byte, ok bool, err error)
+	// Close releases the iterator's position. It must be called exactly
+	// once, even when the scan was abandoned before Next returned false,
+	// so early-terminated scans release their position deterministically.
+	Close() error
 }
 
 // File is the access-method interface the executor programs against.
@@ -90,8 +94,14 @@ func (f *rangeFilter) Next() (page.RID, []byte, bool, error) {
 	}
 }
 
+// Close implements Iterator by closing the wrapped iterator.
+func (f *rangeFilter) Close() error { return f.it.Close() }
+
 // Empty is an Iterator that yields nothing.
 type Empty struct{}
 
 // Next implements Iterator.
 func (Empty) Next() (page.RID, []byte, bool, error) { return page.NilRID, nil, false, nil }
+
+// Close implements Iterator.
+func (Empty) Close() error { return nil }

@@ -57,8 +57,14 @@ func TestEmptyIterator(t *testing.T) {
 
 // sliceIter adapts a key list for FilterRange tests.
 type sliceIter struct {
-	keys []int32
-	i    int
+	keys   []int32
+	i      int
+	closed bool
+}
+
+func (s *sliceIter) Close() error {
+	s.closed = true
+	return nil
 }
 
 func (s *sliceIter) Next() (page.RID, []byte, bool, error) {
@@ -95,8 +101,16 @@ func TestFilterRange(t *testing.T) {
 		}
 	}
 	// Empty bound.
-	it = FilterRange(&sliceIter{keys: []int32{1, 2}}, key, 5, 4)
+	inner := &sliceIter{keys: []int32{1, 2}}
+	it = FilterRange(inner, key, 5, 4)
 	if _, _, ok, _ := it.Next(); ok {
 		t.Error("inverted range yielded a tuple")
+	}
+	// Close propagates to the wrapped iterator.
+	if err := it.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if !inner.closed {
+		t.Error("FilterRange.Close did not close the wrapped iterator")
 	}
 }

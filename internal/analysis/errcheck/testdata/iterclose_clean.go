@@ -1,0 +1,31 @@
+// Clean fixture for the iterator-Close carve-out: handling or
+// propagating the Close error is fine, and the "_ =" discard stays
+// sanctioned for types that are not iterator-shaped.
+package fixture
+
+import (
+	"os"
+
+	"tdbms/internal/am"
+)
+
+func handled(it am.Iterator) error {
+	if err := it.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func folded(it am.Iterator) (err error) {
+	defer func() {
+		if cerr := it.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	_, _, _, err = it.Next()
+	return err
+}
+
+func notAnIterator(f *os.File) {
+	_ = f.Close()
+}

@@ -1,0 +1,26 @@
+// Violating fixture for the iterator-Close carve-out: the explicit
+// "_ =" discard is not sanctioned for Close on anything shaped like
+// am.Iterator, whether named via the interface or a concrete type.
+package fixture
+
+import (
+	"tdbms/internal/am"
+	"tdbms/internal/page"
+)
+
+type localIter struct{ done bool }
+
+func (l *localIter) Next() (page.RID, []byte, bool, error) {
+	return page.NilRID, nil, false, nil
+}
+
+func (l *localIter) Close() error { return nil }
+
+func discardInterfaceClose(it am.Iterator) {
+	_ = it.Close()
+}
+
+func discardConcreteClose() {
+	it := &localIter{}
+	_ = it.Close()
+}

@@ -7,6 +7,10 @@
 //     files directly could move page traffic outside the counted path.
 //  2. The buffer.Stats counters may be mutated only by internal/buffer
 //     itself; everyone else gets a copy via (*Buffered).Stats().
+//  3. The planner (internal/plan) decides access paths but must never
+//     touch pages itself: it may not import internal/buffer or
+//     internal/storage. Execution — and therefore all counted I/O —
+//     belongs to the executor and the layers below it.
 package layering
 
 import (
@@ -19,6 +23,7 @@ import (
 const (
 	bufferPkg  = "tdbms/internal/buffer"
 	storagePkg = "tdbms/internal/storage"
+	planPkg    = "tdbms/internal/plan"
 )
 
 // forbiddenIO lists the file-opening and whole-file I/O functions that
@@ -48,6 +53,30 @@ func run(pass *analysis.Pass) {
 	}
 	if pass.Pkg.Path() != bufferPkg {
 		checkStatsMutation(pass)
+	}
+	// Fixture packages load under a synthetic import path, so the planner
+	// is also recognized by package name.
+	if pass.Pkg.Path() == planPkg || pass.Pkg.Name() == "plan" {
+		checkPlanImports(pass)
+	}
+}
+
+// checkPlanImports flags storage-stack imports inside the planner: a plan
+// describes page accesses, it must not be able to perform them.
+func checkPlanImports(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path := imp.Path.Value // quoted literal
+			if len(path) < 2 {
+				continue
+			}
+			switch path[1 : len(path)-1] {
+			case bufferPkg, storagePkg:
+				pass.Report(imp.Pos(),
+					"the planner must not import %s: access-path decisions are storage-free, page I/O belongs to the executor",
+					path[1:len(path)-1])
+			}
+		}
 	}
 }
 

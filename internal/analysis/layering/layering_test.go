@@ -14,3 +14,11 @@ func TestViolating(t *testing.T) {
 func TestClean(t *testing.T) {
 	analysistest.Run(t, layering.Analyzer, "testdata/clean.go")
 }
+
+func TestPlanImportViolating(t *testing.T) {
+	analysistest.Run(t, layering.Analyzer, "testdata/planimport_violating.go")
+}
+
+func TestPlanImportClean(t *testing.T) {
+	analysistest.Run(t, layering.Analyzer, "testdata/planimport_clean.go")
+}

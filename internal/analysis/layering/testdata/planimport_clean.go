@@ -1,0 +1,17 @@
+// Clean fixture for the planner-import check: a package named plan may
+// use anything outside the storage stack; only internal/buffer and
+// internal/storage are off limits.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"tdbms/internal/temporal"
+)
+
+func describe(at temporal.Time) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "as of %s", temporal.Format(at, temporal.Second))
+	return b.String()
+}

@@ -1,0 +1,17 @@
+// Violating fixture for the planner-import check: a package named plan
+// that pulls in the storage stack. Access-path decisions must stay
+// storage-free, so both imports are flagged.
+package plan
+
+import (
+	"tdbms/internal/buffer"
+	"tdbms/internal/storage"
+)
+
+// estimate pretends to cost a scan by peeking at live buffer state — the
+// exact capability the planner must not have.
+func estimate(b *buffer.Buffered, m *storage.Mem) int64 {
+	st := b.Stats()
+	_ = m
+	return st.Reads
+}

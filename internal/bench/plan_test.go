@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"testing"
+
+	"tdbms/internal/plan"
+)
+
+// TestPlanAttribution runs the twelve Figure 4 queries through the
+// planner/executor path and checks the per-operator page attribution: the
+// executed plan tree must carry non-zero I/O, and summing every node must
+// reproduce the query's total Input/Output exactly — no page access lost
+// or double-counted by the per-operator accounting.
+func TestPlanAttribution(t *testing.T) {
+	for _, typ := range []DBType{Temporal, Rollback} {
+		b, err := Build(typ, 100)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", typ, err)
+		}
+		for uc := 0; uc < 2; uc++ {
+			if err := b.Update(); err != nil {
+				t.Fatalf("Update: %v", err)
+			}
+		}
+		for _, q := range Queries(typ) {
+			if q.Text == "" {
+				continue
+			}
+			if err := b.Inner.InvalidateBuffers(); err != nil {
+				t.Fatal(err)
+			}
+			b.Inner.ResetStats()
+			res, tree, err := b.Inner.QueryPlan(q.Text)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", q.ID, typ, err)
+			}
+			sum := tree.TotalIO()
+			if sum.Reads != res.Input || sum.Writes != res.Output {
+				t.Errorf("%s on %s: plan attribution r=%d w=%d, result totals in=%d out=%d\n%s",
+					q.ID, typ, sum.Reads, sum.Writes, res.Input, res.Output, tree.Render())
+			}
+			if sum.Reads == 0 {
+				t.Errorf("%s on %s: executed plan shows zero pages read\n%s", q.ID, typ, tree.Render())
+			}
+			// The I/O must land on the operators that caused it: at least
+			// one access-path node carries reads.
+			var leafReads int64
+			tree.Walk(func(n *plan.Node) {
+				switch n.Op {
+				case plan.OpSeqScan, plan.OpProbe, plan.OpRangeScan, plan.OpIndexScan,
+					plan.OpTempScan, plan.OpSubstProbe, plan.OpMaterialize:
+					leafReads += n.IO.Reads
+				}
+			})
+			if leafReads == 0 {
+				t.Errorf("%s on %s: no access-path operator carries read attribution\n%s",
+					q.ID, typ, tree.Render())
+			}
+		}
+	}
+}

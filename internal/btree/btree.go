@@ -470,6 +470,12 @@ func (it *probeIter) Next() (page.RID, []byte, bool, error) {
 	return page.NilRID, nil, false, nil
 }
 
+// Close implements am.Iterator, releasing the probe position.
+func (it *probeIter) Close() error {
+	it.done = true
+	return nil
+}
+
 type scanIter struct {
 	f       *File
 	cur     page.ID
@@ -529,4 +535,13 @@ func (it *scanIter) Next() (page.RID, []byte, bool, error) {
 		it.idx = 0
 		it.cur = p.Next()
 	}
+}
+
+// Close implements am.Iterator, releasing the leaf-chain position.
+func (it *scanIter) Close() error {
+	it.started = true
+	it.cur = page.Nil
+	it.pending = nil
+	it.idx = 0
+	return nil
 }

@@ -49,7 +49,7 @@ func (db *Database) copyOut(s *tquel.CopyStmt) (res *Result, retErr error) {
 	for {
 		_, tup, ok, err := it.Next()
 		if err != nil {
-			return nil, err
+			return nil, closeIter(it, err)
 		}
 		if !ok {
 			break
@@ -64,9 +64,12 @@ func (db *Database) copyOut(s *tquel.CopyStmt) (res *Result, retErr error) {
 			}
 		}
 		if _, err := fmt.Fprintln(w, strings.Join(fields, "\t")); err != nil {
-			return nil, err
+			return nil, closeIter(it, err)
 		}
 		n++
+	}
+	if err := it.Close(); err != nil {
+		return nil, err
 	}
 	if err := w.Flush(); err != nil {
 		return nil, err

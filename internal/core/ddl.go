@@ -106,15 +106,20 @@ func (db *Database) execModify(s *tquel.ModifyStmt) (*Result, error) {
 	// loses it, as it did in 1985).
 	var tuples [][]byte
 	it := h.src.ScanAll()
+	var scanErr error
 	for {
 		_, tup, ok, err := it.Next()
 		if err != nil {
-			return nil, err
+			scanErr = err
+			break
 		}
 		if !ok {
 			break
 		}
 		tuples = append(tuples, tup)
+	}
+	if err := closeIter(it, scanErr); err != nil {
+		return nil, err
 	}
 
 	desc := h.desc
@@ -298,10 +303,10 @@ func (db *Database) execIndex(s *tquel.IndexStmt) (*Result, error) {
 		for {
 			rid, tup, ok, err := it.Next()
 			if err != nil {
-				return err
+				return closeIter(it, err)
 			}
 			if !ok {
-				return nil
+				return it.Close()
 			}
 			k := h.desc.Schema.Int(tup, attrIdx)
 			entries = append(entries, entry{
@@ -406,7 +411,7 @@ func (db *Database) convertToTwoLevel(h *relHandle, clustered bool) error {
 	for {
 		_, tup, ok, err := it.Next()
 		if err != nil {
-			return err
+			return closeIter(it, err)
 		}
 		if !ok {
 			break
@@ -429,6 +434,9 @@ func (db *Database) convertToTwoLevel(h *relHandle, clustered bool) error {
 			arrival = temporal.Time(desc.Schema.Int(tup, desc.VT)) // historical relation
 		}
 		history = append(history, hver{arrival: arrival, tup: tup})
+	}
+	if err := it.Close(); err != nil {
+		return err
 	}
 	sort.SliceStable(history, func(i, j int) bool {
 		return history[i].arrival < history[j].arrival

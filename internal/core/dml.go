@@ -5,7 +5,9 @@ import (
 	"strings"
 
 	"tdbms/internal/catalog"
+	"tdbms/internal/exec"
 	"tdbms/internal/page"
+	"tdbms/internal/plan"
 	"tdbms/internal/secindex"
 	"tdbms/internal/temporal"
 	"tdbms/internal/tquel"
@@ -281,15 +283,20 @@ func (db *Database) dmlCandidates(v string, where tquel.Expr, when tquel.TExpr) 
 	// DML touches current versions only; let a two-level store use its
 	// primary store directly.
 	q.qv[v].currentOnly = true
+	// Route the candidate scan through the planner and executor so DML
+	// uses the same one-variable access-path decision as retrieves.
+	node := plan.Leaf(db.varInfo(q, v))
+	att := exec.NewAttribution(db.Stats)
 	var cands []candidate
-	err = q.scanVar(v, func(rid page.RID, tup []byte) error {
+	l := &lowering{db: db, q: q, att: att}
+	op := l.lowerLeaf(node, func(rid page.RID, tup []byte) error {
 		if !isCurrentTuple(h.desc, tup) {
 			return nil
 		}
 		cands = append(cands, candidate{rid: rid, tup: tup})
 		return nil
 	})
-	if err != nil {
+	if err := exec.Run(op); err != nil {
 		return nil, nil, err
 	}
 	return q, cands, nil
@@ -329,12 +336,15 @@ func (db *Database) resolveCandidate(h *relHandle, c candidate) (candidate, erro
 	for {
 		rid, tup, ok, err := it.Next()
 		if err != nil {
-			return c, err
+			return c, closeIter(it, err)
 		}
 		if !ok {
-			return c, fmt.Errorf("core: %s: version to update vanished (concurrent structure change?)", h.desc.Name)
+			return c, closeIter(it, fmt.Errorf("core: %s: version to update vanished (concurrent structure change?)", h.desc.Name))
 		}
 		if string(tup) == string(c.tup) {
+			if err := it.Close(); err != nil {
+				return c, err
+			}
 			return candidate{rid: rid, tup: c.tup}, nil
 		}
 	}

@@ -2,110 +2,52 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"strings"
 
-	"tdbms/internal/temporal"
+	"tdbms/internal/plan"
 	"tdbms/internal/tquel"
 )
 
-// Explain describes how a retrieve statement would be executed: the access
-// path per range variable (the "dominant operations" of Section 5.3) and
-// the multi-variable strategy, without running the query.
-func (db *Database) Explain(src string) (string, error) {
+// QueryPlan executes a retrieve and returns both the result and the
+// executed physical plan, annotated with the pages each operator read and
+// wrote. The result's Input/Output totals are computed the same way
+// ExecStmt computes them (global counter delta plus temporaries), so the
+// tree's attribution sums to them.
+func (db *Database) QueryPlan(src string) (*Result, *plan.Tree, error) {
 	stmt, err := tquel.Parse(src)
 	if err != nil {
-		return "", err
+		return nil, nil, err
 	}
 	ret, ok := stmt.(*tquel.RetrieveStmt)
 	if !ok {
-		return "", fmt.Errorf("core: explain applies to retrieve statements, not %T", stmt)
+		return nil, nil, fmt.Errorf("core: explain applies to retrieve statements, not %T", stmt)
 	}
-	q, err := db.analyze(ret)
+	before := db.Stats()
+	res, t, err := db.runRetrieve(ret)
+	if err != nil {
+		return nil, nil, err
+	}
+	d := db.Stats().Sub(before)
+	res.Input += d.Reads
+	res.Output += d.Writes
+	return res, t, nil
+}
+
+// Explain runs a retrieve statement and describes the plan it executed:
+// the access path per range variable (the "dominant operations" of
+// Section 5.3), the multi-variable strategy, and the pages of I/O each
+// operator actually caused — measured, not estimated.
+func (db *Database) Explain(src string) (string, error) {
+	res, t, err := db.QueryPlan(src)
 	if err != nil {
 		return "", err
 	}
-
 	var b strings.Builder
-	fmt.Fprintf(&b, "retrieve over %d variable(s)\n", len(q.vars))
-	slice := "as of now (default)"
-	if ret.AsOf != nil {
-		if q.thr != q.at {
-			slice = fmt.Sprintf("as of %s through %s",
-				temporal.Format(q.at, temporal.Second), temporal.Format(q.thr, temporal.Second))
-		} else {
-			slice = "as of " + temporal.Format(q.at, temporal.Second)
-		}
+	b.WriteString(t.Render())
+	fmt.Fprintf(&b, "  totals: input=%d output=%d pages", res.Input, res.Output)
+	if res.TempInput+res.TempOutput > 0 {
+		fmt.Fprintf(&b, " (temporaries: %d in, %d out)", res.TempInput, res.TempOutput)
 	}
-	fmt.Fprintf(&b, "  rollback slice: %s\n", slice)
-
-	for _, v := range q.vars {
-		qv := q.qv[v]
-		desc := qv.h.desc
-		fmt.Fprintf(&b, "  %s -> %s (%s, %s", v, desc.Name, desc.Type, desc.Method)
-		if desc.KeyAttr != "" {
-			fmt.Fprintf(&b, " on %s", desc.KeyAttr)
-		}
-		fmt.Fprintf(&b, ", %d pages)\n", qv.h.src.NumPages())
-		fmt.Fprintf(&b, "     access: %s\n", q.describePath(v))
-		if qv.currentOnly {
-			b.WriteString("     current versions only (two-level store fast path)\n")
-		}
-		if n := len(qv.sel) + len(qv.tsel); n > 0 {
-			fmt.Fprintf(&b, "     %d single-variable restriction(s) applied during the scan\n", n)
-		}
-	}
-
-	switch len(q.vars) {
-	case 0, 1:
-	case 2:
-		if sub := q.chooseSubstitution(); sub != nil {
-			fmt.Fprintf(&b, "  join: detach %s into a temporary, then probe %s by %s (tuple substitution)\n",
-				sub.detachVar, sub.probeVar, sub.probeExpr)
-		} else if len(q.qv[q.vars[0]].sel) > 0 && len(q.qv[q.vars[1]].sel) > 0 {
-			fmt.Fprintf(&b, "  join: detach both variables into temporaries, then join them\n")
-		} else {
-			fmt.Fprintf(&b, "  join: nested sequential scan (%s outer, %s inner)\n", q.vars[0], q.vars[1])
-		}
-	default:
-		b.WriteString("  join: detach selective variables into temporaries, then nested scans\n")
-	}
-	if ret.When != nil {
-		b.WriteString("  when-clause evaluated on candidate combinations\n")
-	}
+	fmt.Fprintf(&b, ", %d row(s)\n", len(res.Rows))
 	return b.String(), nil
-}
-
-// describePath renders a variable's chosen access path.
-func (q *query) describePath(v string) string {
-	qv := q.qv[v]
-	switch q.pathFor(v) {
-	case pathProbe:
-		kind := "keyed probe"
-		if qv.h.desc.Method.String() == "hash" {
-			kind = "hashed access"
-		} else if qv.h.desc.Method.String() == "isam" {
-			kind = "ISAM access"
-		} else if qv.h.desc.Method.String() == "btree" {
-			kind = "B-tree access"
-		}
-		return fmt.Sprintf("%s, %s = %s", kind, qv.h.desc.KeyAttr, qv.keyConst)
-	case pathIndex:
-		ix := qv.h.indexes[qv.idxName]
-		cfg := ix.Config()
-		return fmt.Sprintf("secondary index %s (%d-level %s) on %s = %d",
-			cfg.Name, cfg.Levels, cfg.Structure, cfg.Attr, qv.idxConst)
-	case pathRange:
-		lo, hi := qv.keyBounds()
-		los, his := "-inf", "+inf"
-		if lo != math.MinInt64 {
-			los = fmt.Sprintf("%d", lo)
-		}
-		if hi != math.MaxInt64 {
-			his = fmt.Sprintf("%d", hi)
-		}
-		return fmt.Sprintf("range probe, %s in [%s, %s]", qv.h.desc.KeyAttr, los, his)
-	default:
-		return "sequential scan"
-	}
 }

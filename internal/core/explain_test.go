@@ -47,7 +47,7 @@ func TestExplainAccessPaths(t *testing.T) {
 		{`retrieve (h.id, i.id) where h.id = i.amount`,
 			[]string{"tuple substitution", "detach i", "probe h"}},
 		{`retrieve (h.id, i.id) where h.amount = 100 and i.amount = 200 when h overlap i`,
-			[]string{"detach both variables"}},
+			[]string{"detach h into temporary", "detach i into temporary", "nested scan over temporaries"}},
 		{`retrieve (h.id, i.id) when h overlap i`,
 			[]string{"nested sequential scan"}},
 		{`retrieve (h.id) as of "02:00 1/1/80"`, []string{`as of 02:00:00 1/1/1980`}},

@@ -5,11 +5,8 @@ import (
 	"math"
 	"strings"
 
-	"tdbms/internal/am"
 	"tdbms/internal/catalog"
 	"tdbms/internal/heapfile"
-	"tdbms/internal/page"
-	"tdbms/internal/secindex"
 	"tdbms/internal/temporal"
 	"tdbms/internal/tquel"
 	"tdbms/internal/tuple"
@@ -429,34 +426,6 @@ func (q *query) passesVar(v string) (bool, error) {
 	return true, nil
 }
 
-// accessPath enumerates the one-variable access strategies of Section 5.3.
-type accessPath int
-
-const (
-	pathTemp accessPath = iota // detached temporary
-	pathIndex
-	pathProbe
-	pathRange
-	pathScan
-)
-
-// pathFor picks the access path for a variable — the single decision point
-// shared by the executor and Explain.
-func (q *query) pathFor(v string) accessPath {
-	qv := q.qv[v]
-	switch {
-	case qv.temp != nil:
-		return pathTemp
-	case qv.keyConst != nil && qv.h.src.Keyed():
-		return pathProbe
-	case qv.keyConst == nil && qv.idxName != "":
-		return pathIndex
-	case (qv.keyLo != nil || qv.keyHi != nil) && qv.h.src.Ordered():
-		return pathRange
-	}
-	return pathScan
-}
-
 // keyBounds resolves the range-probe bounds with open sides saturated.
 func (qv *qvar) keyBounds() (lo, hi int64) {
 	lo, hi = math.MinInt64, math.MaxInt64
@@ -467,135 +436,6 @@ func (qv *qvar) keyBounds() (lo, hi int64) {
 		hi = *qv.keyHi
 	}
 	return lo, hi
-}
-
-// scanVar drives the one-variable query interpreter: it picks the access
-// path (hashed access, ISAM access, secondary index, or sequential scan —
-// the dominant operations of Section 5.3), binds each version, applies the
-// variable's own predicates, and calls fn for qualifying versions.
-func (q *query) scanVar(v string, fn func(rid page.RID, tup []byte) error) error {
-	qv := q.qv[v]
-	b := q.env.vars[v]
-	if q.pathFor(v) == pathTemp {
-		// The variable was detached: range over its temporary.
-		return q.scanTemp(qv.temp, v, func() error {
-			return fn(page.NilRID, b.tup)
-		})
-	}
-	src := qv.h.src
-
-	// Secondary-index access path.
-	if q.pathFor(v) == pathIndex {
-		ix := qv.h.indexes[qv.idxName]
-		var tids []secindex.TID
-		var err error
-		if qv.currentOnly && ix.CanProbeCurrent() {
-			tids, err = ix.ProbeCurrent(qv.idxConst)
-		} else {
-			tids, err = ix.ProbeAll(qv.idxConst)
-		}
-		if err != nil {
-			return err
-		}
-		for _, tid := range tids {
-			tup, err := src.FetchTID(secTID{history: tid.History, rid: tid.RID})
-			if err != nil {
-				return err
-			}
-			b.tup = tup
-			ok, err := q.passesVar(v)
-			if err != nil {
-				return err
-			}
-			if !ok {
-				continue
-			}
-			if err := fn(tid.RID, tup); err != nil {
-				return err
-			}
-		}
-		b.tup = nil
-		return nil
-	}
-
-	var it am.Iterator
-	switch q.pathFor(v) {
-	case pathProbe:
-		key := qv.keyConst.AsInt()
-		if qv.currentOnly {
-			it = src.ProbeCurrent(key)
-		} else {
-			it = src.ProbeAll(key)
-		}
-	case pathRange:
-		lo, hi := qv.keyBounds()
-		if qv.currentOnly {
-			it = src.RangeCurrent(lo, hi)
-		} else {
-			it = src.RangeAll(lo, hi)
-		}
-	default:
-		if qv.currentOnly {
-			it = src.ScanCurrent()
-		} else {
-			it = src.ScanAll()
-		}
-	}
-	for {
-		rid, tup, ok, err := it.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
-		b.tup = tup
-		pass, err := q.passesVar(v)
-		if err != nil {
-			return err
-		}
-		if !pass {
-			continue
-		}
-		if err := fn(rid, tup); err != nil {
-			return err
-		}
-	}
-	b.tup = nil
-	return nil
-}
-
-// probeVarWith probes variable v by an externally supplied key (tuple
-// substitution), applying v's own predicates before calling fn.
-func (q *query) probeVarWith(v string, key int64, fn func(rid page.RID, tup []byte) error) error {
-	qv := q.qv[v]
-	b := q.env.vars[v]
-	var it am.Iterator
-	if qv.currentOnly {
-		it = qv.h.src.ProbeCurrent(key)
-	} else {
-		it = qv.h.src.ProbeAll(key)
-	}
-	for {
-		rid, tup, ok, err := it.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			return nil
-		}
-		b.tup = tup
-		pass, err := q.passesVar(v)
-		if err != nil {
-			return err
-		}
-		if !pass {
-			continue
-		}
-		if err := fn(rid, tup); err != nil {
-			return err
-		}
-	}
 }
 
 // neededAttrs lists the attribute names of variable v referenced anywhere
@@ -671,69 +511,3 @@ func (q *query) neededAttrs(v string) []string {
 	return out
 }
 
-// detach runs the one-variable subquery of v and materializes the needed
-// projection into a temporary relation — Ingres's one-variable detachment.
-func (db *Database) detach(q *query, v string) (*tempRel, error) {
-	d := q.qv[v].h.desc
-	attrs := q.neededAttrs(v)
-	if len(attrs) == 0 {
-		attrs = []string{strings.ToLower(d.Schema.Attr(0).Name)}
-	}
-	idx := make([]int, len(attrs))
-	for i, n := range attrs {
-		idx[i] = d.Schema.Index(n)
-	}
-	tmpSchema := d.Schema.Project(idx, nil)
-	db.tmpSeq++
-	buf, err := db.newBuffer(fmt.Sprintf("tmp_%d", db.tmpSeq))
-	if err != nil {
-		return nil, err
-	}
-	tmp := &tempRel{schema: tmpSchema, hf: heapfile.New(buf, tmpSchema.Width())}
-	q.temps = append(q.temps, tmp)
-	out := tmpSchema.NewTuple()
-	err = q.scanVar(v, func(rid page.RID, tup []byte) error {
-		for i, srcIdx := range idx {
-			if err := tmpSchema.SetValue(out, i, d.Schema.Value(tup, srcIdx)); err != nil {
-				return err
-			}
-		}
-		_, err := tmp.hf.Insert(out)
-		return err
-	})
-	if err != nil {
-		return nil, err
-	}
-	// Flush and drop the frame: the temporary is re-read from disk by the
-	// next phase, as in the prototype (its pages are part of the fixed
-	// input cost of Figure 9).
-	if err := tmp.hf.Buffer().Invalidate(); err != nil {
-		return nil, err
-	}
-	// After detachment the variable ranges over the temporary relation.
-	q.env.vars[v] = bindingForTemp(d, tmpSchema)
-	// Its single-variable predicates were consumed by the detachment.
-	q.qv[v].sel = nil
-	q.qv[v].tsel = nil
-	return tmp, nil
-}
-
-// scanTemp iterates a temporary relation, binding v to each tuple.
-func (q *query) scanTemp(tmp *tempRel, v string, fn func() error) error {
-	b := q.env.vars[v]
-	it := tmp.hf.Scan()
-	for {
-		_, tup, ok, err := it.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			b.tup = nil
-			return nil
-		}
-		b.tup = tup
-		if err := fn(); err != nil {
-			return err
-		}
-	}
-}

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"strings"
 
+	"tdbms/internal/buffer"
 	"tdbms/internal/catalog"
-	"tdbms/internal/page"
+	"tdbms/internal/exec"
+	"tdbms/internal/plan"
 	"tdbms/internal/temporal"
 	"tdbms/internal/tquel"
 	"tdbms/internal/tuple"
@@ -13,23 +15,80 @@ import (
 
 // execRetrieve plans and runs a retrieve statement.
 func (db *Database) execRetrieve(s *tquel.RetrieveStmt) (*Result, error) {
+	res, _, err := db.runRetrieve(s)
+	return res, err
+}
+
+// runRetrieve is the three-layer query path: semantic analysis (this
+// package) summarizes the statement for the planner (internal/plan),
+// whose tree is lowered onto the cursor executor (internal/exec). The
+// returned tree carries the per-operator page attribution of the run —
+// the executed plan, not a prediction.
+func (db *Database) runRetrieve(s *tquel.RetrieveStmt) (*Result, *plan.Tree, error) {
 	q, err := db.analyze(s)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out := &emitter{db: db, q: q}
 	if err := out.prepare(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if err := db.runQuery(q, out.emit); err != nil {
-		return nil, err
+	t, conjs := db.buildPlan(q, len(out.aggs) > 0)
+	// The attribution watches every buffer the query can reach: the
+	// catalog's relations (indexes included) plus the query's own
+	// temporaries as they appear.
+	att := exec.NewAttribution(func() buffer.Stats {
+		st := db.Stats()
+		for _, tmp := range q.temps {
+			st = st.Add(tmp.hf.Buffer().Stats())
+		}
+		return st
+	})
+	l := &lowering{db: db, q: q, out: out, att: att, joins: conjs}
+
+	// Decomposition prologue: detach restricted variables into
+	// temporaries before the root pipeline runs over them.
+	for _, m := range t.Prologue {
+		mat, err := l.materialize(m)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := mat.Run(); err != nil {
+			return nil, nil, err
+		}
+	}
+	// The root pipeline is lowered after the prologue: temporary scans
+	// resolve against the just-built temporaries.
+	if err := exec.Run(l.lowerNode(pipelineRoot(t.Root))); err != nil {
+		return nil, nil, err
 	}
 	if len(out.aggs) > 0 {
 		if err := out.finalizeAggregates(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	res := &Result{Cols: out.cols, Rows: out.rows}
+	if s.Unique {
+		res.Rows = dedupeRows(res.Rows)
+	}
+	if len(s.Sort) > 0 {
+		if err := sortRows(res.Cols, res.Rows, s.Sort); err != nil {
+			return nil, nil, err
+		}
+	}
+	if s.Into != "" {
+		// The result relation's pages are charged to the insert node.
+		ins := t.FindOp(plan.OpInsert)
+		prev := att.Enter(ins)
+		err := db.materialize(s.Into, out, res)
+		att.Leave(prev)
+		if err != nil {
+			return nil, nil, err
+		}
+		res.Affected = len(res.Rows)
+		res.Cols, res.Rows = nil, nil
+	}
+	att.Finish(pipelineRoot(t.Root))
 	for _, tmp := range q.temps {
 		st := tmp.hf.Buffer().Stats()
 		res.Input += st.Reads
@@ -38,22 +97,7 @@ func (db *Database) execRetrieve(s *tquel.RetrieveStmt) (*Result, error) {
 		res.TempOutput += st.Writes
 		_ = tmp.hf.Buffer().Close() // temporaries are memory-backed and being discarded
 	}
-	if s.Unique {
-		res.Rows = dedupeRows(res.Rows)
-	}
-	if len(s.Sort) > 0 {
-		if err := sortRows(res.Cols, res.Rows, s.Sort); err != nil {
-			return nil, err
-		}
-	}
-	if s.Into != "" {
-		if err := db.materialize(s.Into, out, res); err != nil {
-			return nil, err
-		}
-		res.Affected = len(res.Rows)
-		res.Cols, res.Rows = nil, nil
-	}
-	return res, nil
+	return res, t, nil
 }
 
 // emitter accumulates output rows, including the implicit valid-time
@@ -228,18 +272,26 @@ func (q *query) inferKind(x tquel.Expr) (tuple.Kind, int, error) {
 	return 0, 0, fmt.Errorf("core: cannot infer type of %s", x)
 }
 
-// emit is called with all variables bound: it applies the full where/when
-// clauses, computes the result validity, and appends the output row.
-func (e *emitter) emit() error {
+// residual re-checks the full where and when clauses over a complete
+// binding — the Filter operator's predicate. Conjuncts already applied as
+// single-variable restrictions at the leaves evaluate again here, exactly
+// as the interpreter re-checked them; detached variables satisfy theirs
+// via the temporary's projected attributes.
+func (e *emitter) residual() (bool, error) {
 	q := e.q
 	s := q.stmt
 	if ok, err := q.env.evalBool(s.Where); err != nil || !ok {
-		return err
+		return false, err
 	}
-	if ok, err := q.env.evalTBool(s.When); err != nil || !ok {
-		return err
-	}
+	return q.env.evalTBool(s.When)
+}
 
+// emitRow consumes one qualified binding: it accumulates aggregates, or
+// computes the result validity and appends the output row. This is the
+// Emit hook of the pipeline's root operator.
+func (e *emitter) emitRow() error {
+	q := e.q
+	s := q.stmt
 	if len(e.aggs) > 0 {
 		states := e.states
 		if e.grouped {
@@ -389,129 +441,6 @@ func (q *query) resultValidity() (temporal.Interval, bool, error) {
 		have = true
 	}
 	return out, have, nil
-}
-
-// runQuery drives the execution strategies of Section 5.3: the one-variable
-// interpreter, tuple substitution after one-variable detachment, detachment
-// of both sides joined in a temporary, or a nested sequential scan for
-// purely temporal joins. Queries over three or more variables detach every
-// selective variable into a temporary, then join with nested scans.
-func (db *Database) runQuery(q *query, emit func() error) error {
-	switch len(q.vars) {
-	case 0:
-		return emit()
-	case 1:
-		return q.scanVar(q.vars[0], func(page.RID, []byte) error { return emit() })
-	case 2:
-		return db.runJoin(q, emit)
-	default:
-		for _, v := range q.vars {
-			if len(q.qv[v].sel) == 0 && len(q.qv[v].tsel) == 0 {
-				continue
-			}
-			tmp, err := db.detach(q, v)
-			if err != nil {
-				return err
-			}
-			q.qv[v].temp = tmp
-		}
-		return db.runNested(q, q.vars, emit)
-	}
-}
-
-// substitution describes a tuple-substitution plan: detach one variable,
-// probe the other by the join attribute.
-type substitution struct {
-	probeVar  string
-	detachVar string
-	probeExpr *tquel.AttrExpr // attribute of detachVar supplying the key
-}
-
-// chooseSubstitution looks for a join conjunct equating some variable's
-// storage key with an attribute of the other variable. Hashed probes are
-// preferred over ISAM probes, following Ingres's cost ordering.
-func (q *query) chooseSubstitution() *substitution {
-	if q.stmt.Where == nil {
-		return nil
-	}
-	var best *substitution
-	bestHash := false
-	for _, c := range flattenAnd(q.stmt.Where, nil) {
-		l, r, ok := joinEquality(c)
-		if !ok {
-			continue
-		}
-		for _, side := range [][2]*tquel.AttrExpr{{l, r}, {r, l}} {
-			keyAttr, other := side[0], side[1]
-			qv, exists := q.qv[keyAttr.Var]
-			if !exists {
-				continue
-			}
-			desc := qv.h.desc
-			if desc.KeyAttr == "" || !strings.EqualFold(desc.KeyAttr, keyAttr.Attr) || !qv.h.src.Keyed() {
-				continue
-			}
-			if _, exists := q.qv[other.Var]; !exists {
-				continue
-			}
-			isHash := desc.Method == catalog.Hash
-			if best == nil || (isHash && !bestHash) {
-				best = &substitution{probeVar: keyAttr.Var, detachVar: other.Var, probeExpr: other}
-				bestHash = isHash
-			}
-		}
-	}
-	return best
-}
-
-// runJoin executes a two-variable query.
-func (db *Database) runJoin(q *query, emit func() error) error {
-	if sub := q.chooseSubstitution(); sub != nil {
-		tmp, err := db.detach(q, sub.detachVar)
-		if err != nil {
-			return err
-		}
-		return q.scanTemp(tmp, sub.detachVar, func() error {
-			keyVal, err := q.env.evalExpr(sub.probeExpr)
-			if err != nil {
-				return err
-			}
-			if !keyVal.IsNumeric() {
-				return fmt.Errorf("core: join key %s is not numeric", sub.probeExpr)
-			}
-			return q.probeVarWith(sub.probeVar, keyVal.AsInt(),
-				func(page.RID, []byte) error { return emit() })
-		})
-	}
-
-	// Detach every variable that has a scalar selection; join the results.
-	a, b := q.vars[0], q.vars[1]
-	if len(q.qv[a].sel) > 0 && len(q.qv[b].sel) > 0 {
-		tmpA, err := db.detach(q, a)
-		if err != nil {
-			return err
-		}
-		tmpB, err := db.detach(q, b)
-		if err != nil {
-			return err
-		}
-		return q.scanTemp(tmpA, a, func() error {
-			return q.scanTemp(tmpB, b, emit)
-		})
-	}
-
-	// Nested sequential scan (the temporal-join strategy of Q11).
-	return db.runNested(q, q.vars, emit)
-}
-
-// runNested evaluates variables left to right with nested scans.
-func (db *Database) runNested(q *query, vars []string, emit func() error) error {
-	if len(vars) == 0 {
-		return emit()
-	}
-	return q.scanVar(vars[0], func(page.RID, []byte) error {
-		return db.runNested(q, vars[1:], emit)
-	})
 }
 
 // materialize stores the emitted rows as a new relation (retrieve into).

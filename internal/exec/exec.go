@@ -1,0 +1,52 @@
+// Package exec is the cursor executor of the query processor: a
+// Volcano-style Open/Next/Close operator tree lowered from a physical
+// plan (internal/plan). Bindings flow through closures supplied by the
+// semantic layer — an operator pulls tuples, binds them into the
+// evaluation environment via its Bind/Emit hooks, and signals qualified
+// bindings upward; the executor itself never interprets tuples.
+//
+// Every operator carries its plan node and an Attribution tracker: page
+// reads and writes observed while an operator's own code runs are charged
+// to its node, so after a run the plan tree is annotated with the measured
+// per-operator cost (the paper's metric, pages of I/O).
+package exec
+
+// Operator is a cursor over qualified bindings. Open prepares the cursor
+// (and may be called again after Close to rescan, as the inner side of a
+// nested-loop join is). Next advances to the next qualified binding,
+// returning false when exhausted. Close releases the cursor's resources;
+// it must be called exactly once per Open.
+type Operator interface {
+	Open() error
+	Next() (bool, error)
+	Close() error
+}
+
+// Run drives a root operator to exhaustion: the pull loop of the
+// executor. Each Next call leaves one qualified binding in the evaluation
+// environment; the root operator's hooks consume it (emit a result row,
+// accumulate an aggregate), so Run discards the signal.
+func Run(root Operator) error {
+	if err := root.Open(); err != nil {
+		return closeOp(root, err)
+	}
+	for {
+		ok, err := root.Next()
+		if err != nil {
+			return closeOp(root, err)
+		}
+		if !ok {
+			return root.Close()
+		}
+	}
+}
+
+// closeOp closes op, keeping the earlier error if there was one: the
+// failure that stopped the run takes precedence over the Close error.
+func closeOp(op Operator, err error) error {
+	cerr := op.Close()
+	if err != nil {
+		return err
+	}
+	return cerr
+}

@@ -1,0 +1,318 @@
+package exec
+
+import (
+	"tdbms/internal/am"
+	"tdbms/internal/page"
+	"tdbms/internal/plan"
+	"tdbms/internal/secindex"
+)
+
+// Scan is the one-variable leaf cursor: it drives an access-method
+// iterator (sequential scan, keyed probe, range probe, or temporary scan
+// — Start decides) and offers each tuple to Bind, which binds it into the
+// evaluation environment and applies the variable's restrictions. Open may
+// be called again after Close; Start then produces a fresh iterator, which
+// is how the inner side of a nested loop rescans.
+type Scan struct {
+	Node *plan.Node
+	Att  *Attribution
+	// Start opens the underlying iterator. Called once per Open, so a
+	// rescan re-probes (tuple substitution recomputes the key from the
+	// current outer binding).
+	Start func() (am.Iterator, error)
+	// Bind offers a tuple; it binds the tuple and reports whether it
+	// qualifies under the variable's own restrictions.
+	Bind func(rid page.RID, tup []byte) (bool, error)
+	// End, if set, runs once when the scan exhausts (clearing the
+	// variable's binding, as the interpreter did at the end of a scan).
+	End func()
+
+	it am.Iterator
+}
+
+// Open implements Operator.
+func (s *Scan) Open() error {
+	prev := s.Att.Enter(s.Node)
+	defer s.Att.Leave(prev)
+	it, err := s.Start()
+	if err != nil {
+		return err
+	}
+	s.it = it
+	return nil
+}
+
+// Next implements Operator.
+func (s *Scan) Next() (bool, error) {
+	prev := s.Att.Enter(s.Node)
+	defer s.Att.Leave(prev)
+	for {
+		rid, tup, ok, err := s.it.Next()
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			if s.End != nil {
+				s.End()
+			}
+			return false, nil
+		}
+		pass, err := s.Bind(rid, tup)
+		if err != nil {
+			return false, err
+		}
+		if pass {
+			return true, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (s *Scan) Close() error {
+	if s.it == nil {
+		return nil
+	}
+	err := s.it.Close()
+	s.it = nil
+	return err
+}
+
+// IndexScan resolves tuple ids through a secondary index, then fetches
+// and qualifies each version. Lookup reads the index (one or two levels);
+// Fetch resolves one tuple id against the primary store.
+type IndexScan struct {
+	Node   *plan.Node
+	Att    *Attribution
+	Lookup func() ([]secindex.TID, error)
+	Fetch  func(tid secindex.TID) (bool, error)
+	// End runs once when the fetch list exhausts.
+	End func()
+
+	tids []secindex.TID
+	i    int
+}
+
+// Open implements Operator.
+func (x *IndexScan) Open() error {
+	prev := x.Att.Enter(x.Node)
+	defer x.Att.Leave(prev)
+	tids, err := x.Lookup()
+	if err != nil {
+		return err
+	}
+	x.tids, x.i = tids, 0
+	return nil
+}
+
+// Next implements Operator.
+func (x *IndexScan) Next() (bool, error) {
+	prev := x.Att.Enter(x.Node)
+	defer x.Att.Leave(prev)
+	for x.i < len(x.tids) {
+		tid := x.tids[x.i]
+		x.i++
+		pass, err := x.Fetch(tid)
+		if err != nil {
+			return false, err
+		}
+		if pass {
+			return true, nil
+		}
+	}
+	if x.End != nil {
+		x.End()
+	}
+	return false, nil
+}
+
+// Close implements Operator.
+func (x *IndexScan) Close() error {
+	x.tids, x.i = nil, 0
+	return nil
+}
+
+// Once yields a single empty binding: the cursor of a retrieve with no
+// tuple variables, whose target list is constant-valued.
+type Once struct {
+	done bool
+}
+
+// Open implements Operator.
+func (o *Once) Open() error { o.done = false; return nil }
+
+// Next implements Operator.
+func (o *Once) Next() (bool, error) {
+	if o.done {
+		return false, nil
+	}
+	o.done = true
+	return true, nil
+}
+
+// Close implements Operator.
+func (o *Once) Close() error { return nil }
+
+// NestedLoop re-opens its inner cursor for every outer binding — plain
+// nested iteration, and also the shape of a tuple-substitution join (the
+// inner Scan's Start recomputes the probe key from the outer binding each
+// time it is opened). The node itself causes no I/O; its children charge
+// their own.
+type NestedLoop struct {
+	Node         *plan.Node
+	Outer, Inner Operator
+
+	outerValid bool
+	innerOpen  bool
+}
+
+// Open implements Operator.
+func (n *NestedLoop) Open() error {
+	n.outerValid, n.innerOpen = false, false
+	return n.Outer.Open()
+}
+
+// Next implements Operator.
+func (n *NestedLoop) Next() (bool, error) {
+	for {
+		if !n.outerValid {
+			ok, err := n.Outer.Next()
+			if err != nil || !ok {
+				return false, err
+			}
+			n.outerValid = true
+			if err := n.Inner.Open(); err != nil {
+				return false, err
+			}
+			n.innerOpen = true
+		}
+		ok, err := n.Inner.Next()
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+		if err := n.Inner.Close(); err != nil {
+			return false, err
+		}
+		n.innerOpen = false
+		n.outerValid = false
+	}
+}
+
+// Close implements Operator.
+func (n *NestedLoop) Close() error {
+	var first error
+	if n.innerOpen {
+		first = n.Inner.Close()
+		n.innerOpen = false
+	}
+	if err := n.Outer.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// Filter re-checks the residual where/when predicates over a complete
+// binding — the conjuncts not already consumed by single-variable
+// restrictions at the leaves.
+type Filter struct {
+	Node  *plan.Node
+	Child Operator
+	Pred  func() (bool, error)
+}
+
+// Open implements Operator.
+func (f *Filter) Open() error { return f.Child.Open() }
+
+// Next implements Operator.
+func (f *Filter) Next() (bool, error) {
+	for {
+		ok, err := f.Child.Next()
+		if err != nil || !ok {
+			return false, err
+		}
+		ok, err = f.Pred()
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close() error { return f.Child.Close() }
+
+// Project is the consuming root of the pipeline: for every qualified
+// binding it runs Emit, which evaluates the target list and appends a
+// result row — or accumulates an aggregate; the cursor shape is the same,
+// so aggregation lowers to a Project over its own plan node.
+type Project struct {
+	Node  *plan.Node
+	Child Operator
+	Emit  func() error
+}
+
+// Open implements Operator.
+func (p *Project) Open() error { return p.Child.Open() }
+
+// Next implements Operator.
+func (p *Project) Next() (bool, error) {
+	ok, err := p.Child.Next()
+	if err != nil || !ok {
+		return false, err
+	}
+	if err := p.Emit(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Close implements Operator.
+func (p *Project) Close() error { return p.Child.Close() }
+
+// Materialize detaches a one-variable subquery into a temporary: it
+// drains Child (the variable's restricted scan), calls Write per
+// qualified binding to project and insert into the temporary, then
+// Finish to flush the temporary and rebind the variable to it. Write and
+// Finish run under the materialization node's attribution bracket, so
+// temporary writes are charged to the detach step, not to the scan that
+// fed it.
+type Materialize struct {
+	Node   *plan.Node
+	Att    *Attribution
+	Child  Operator
+	Write  func() error
+	Finish func() error
+}
+
+// Run drains the child and builds the temporary; Materialize is a
+// prologue step, not a cursor, so it exposes Run instead of Operator.
+func (m *Materialize) Run() error {
+	if err := m.Child.Open(); err != nil {
+		return closeOp(m.Child, err)
+	}
+	for {
+		ok, err := m.Child.Next()
+		if err != nil {
+			return closeOp(m.Child, err)
+		}
+		if !ok {
+			break
+		}
+		prev := m.Att.Enter(m.Node)
+		err = m.Write()
+		m.Att.Leave(prev)
+		if err != nil {
+			return closeOp(m.Child, err)
+		}
+	}
+	if err := m.Child.Close(); err != nil {
+		return err
+	}
+	prev := m.Att.Enter(m.Node)
+	defer m.Att.Leave(prev)
+	return m.Finish()
+}

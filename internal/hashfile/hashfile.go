@@ -237,6 +237,12 @@ func (it *chainIter) Next() (page.RID, []byte, bool, error) {
 	return page.NilRID, nil, false, nil
 }
 
+// Close implements am.Iterator, releasing the chain position.
+func (it *chainIter) Close() error {
+	it.cur = page.Nil
+	return nil
+}
+
 // scanIter visits each primary page and its full chain.
 type scanIter struct {
 	f       *File
@@ -244,10 +250,14 @@ type scanIter struct {
 	cur     page.ID
 	slot    int
 	started bool
+	closed  bool
 }
 
 // Next implements am.Iterator.
 func (it *scanIter) Next() (page.RID, []byte, bool, error) {
+	if it.closed {
+		return page.NilRID, nil, false, nil
+	}
 	for {
 		if !it.started {
 			if it.primary >= it.f.meta.Primary {
@@ -282,4 +292,10 @@ func (it *scanIter) Next() (page.RID, []byte, bool, error) {
 		it.primary++
 		it.started = false
 	}
+}
+
+// Close implements am.Iterator, releasing the scan position.
+func (it *scanIter) Close() error {
+	it.closed = true
+	return nil
 }

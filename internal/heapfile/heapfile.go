@@ -150,10 +150,14 @@ type scanIter struct {
 	slot   int
 	filter bool
 	key    int64
+	closed bool
 }
 
 // Next implements am.Iterator.
 func (it *scanIter) Next() (page.RID, []byte, bool, error) {
+	if it.closed {
+		return page.NilRID, nil, false, nil
+	}
 	n := it.f.buf.NumPages()
 	for int(it.cur) < n {
 		p, err := it.f.buf.Fetch(it.cur)
@@ -181,4 +185,10 @@ func (it *scanIter) Next() (page.RID, []byte, bool, error) {
 		it.slot = 0
 	}
 	return page.NilRID, nil, false, nil
+}
+
+// Close implements am.Iterator, releasing the scan position.
+func (it *scanIter) Close() error {
+	it.closed = true
+	return nil
 }

@@ -417,16 +417,26 @@ func (it *probeIter) Next() (page.RID, []byte, bool, error) {
 	}
 }
 
+// Close implements am.Iterator, releasing the probe position.
+func (it *probeIter) Close() error {
+	it.done = true
+	return nil
+}
+
 type scanIter struct {
 	f       *File
 	primary int
 	cur     page.ID
 	slot    int
 	started bool
+	closed  bool
 }
 
 // Next implements am.Iterator.
 func (it *scanIter) Next() (page.RID, []byte, bool, error) {
+	if it.closed {
+		return page.NilRID, nil, false, nil
+	}
 	for {
 		if !it.started {
 			if it.primary >= it.f.meta.DataPages {
@@ -461,4 +471,10 @@ func (it *scanIter) Next() (page.RID, []byte, bool, error) {
 		it.primary++
 		it.started = false
 	}
+}
+
+// Close implements am.Iterator, releasing the scan position.
+func (it *scanIter) Close() error {
+	it.closed = true
+	return nil
 }

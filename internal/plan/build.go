@@ -1,0 +1,295 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VarInfo summarizes one tuple variable for the planner: everything the
+// access-path decision needs, already extracted from the catalog and the
+// analyzed restrictions so the planner never touches storage itself.
+type VarInfo struct {
+	Var     string
+	Rel     string
+	Type    string // relation type (static/rollback/historical/temporal)
+	Method  string // access method (heap/hash/isam/btree)
+	KeyAttr string // storage key attribute ("" for heaps)
+	Keyed   bool   // probes are cheaper than scans
+	Ordered bool   // range probes are cheaper than scans
+	Pages   int    // relation size in pages
+	Current bool   // only current versions can qualify
+	Sels    int    // scalar single-variable restrictions
+	TSels   int    // temporal single-variable restrictions
+
+	// Key constant from an equality restriction on the storage key.
+	HasKeyConst bool
+	KeyConst    string
+	// Key range from inequality restrictions on an integer storage key.
+	HasLo, HasHi bool
+	KeyLo, KeyHi int64
+
+	// Usable secondary index (equality restriction on the indexed
+	// attribute, no cheaper primary-key constant available).
+	IdxName      string
+	IdxAttr      string
+	IdxStructure string
+	IdxLevels    int
+	IdxConst     int64
+}
+
+// JoinEq is a join conjunct `LVar.LAttr = RVar.RAttr` in where-clause
+// order.
+type JoinEq struct {
+	LVar, LAttr string
+	RVar, RAttr string
+}
+
+// String implements fmt.Stringer.
+func (j JoinEq) String() string {
+	return fmt.Sprintf("%s.%s = %s.%s", j.LVar, j.LAttr, j.RVar, j.RAttr)
+}
+
+// Input is the planner's view of an analyzed retrieve.
+type Input struct {
+	Slice   string // rendered rollback-slice description
+	Vars    []VarInfo
+	Joins   []JoinEq
+	Targets []string // target-list names, for the projection node
+	// Residual predicates re-checked over complete bindings.
+	HasWhere, HasWhen bool
+	WhereStr, WhenStr string
+	Aggregate         bool
+	Unique            bool
+	Sort              bool
+	Into              string
+}
+
+// Build turns the analyzed query summary into a physical plan tree. The
+// strategy is the paper's: zero variables yield a single empty binding;
+// one variable runs through the one-variable processor (choosing probe,
+// range, index, or sequential access); two variables prefer tuple
+// substitution into a keyed probe, fall back to detaching both restricted
+// variables, then to a plain nested scan; three or more detach every
+// restricted variable and nest the rest.
+func Build(in Input) *Tree {
+	t := &Tree{NumVars: len(in.Vars), Slice: in.Slice, Vars: in.Vars}
+	vi := make(map[string]*VarInfo, len(in.Vars))
+	for i := range in.Vars {
+		vi[in.Vars[i].Var] = &in.Vars[i]
+	}
+
+	var root *Node
+	switch len(in.Vars) {
+	case 0:
+		root = &Node{Op: OpOnce, Detail: "single empty binding (no tuple variables)"}
+	case 1:
+		root = Leaf(in.Vars[0])
+	case 2:
+		a, b := &in.Vars[0], &in.Vars[1]
+		if sub := chooseSubstitution(in, vi); sub != nil {
+			d := vi[sub.DetachVar]
+			t.Prologue = append(t.Prologue, materializeNode(d))
+			j := in.Joins[sub.EqIndex]
+			keyVar, keyAttr := j.RVar, j.RAttr
+			if sub.Flipped {
+				keyVar, keyAttr = j.LVar, j.LAttr
+			}
+			root = &Node{
+				Op:  OpNestLoop,
+				Sub: sub,
+				Detail: fmt.Sprintf("tuple substitution join (%s outer, %s inner)",
+					sub.DetachVar, sub.ProbeVar),
+				Children: []*Node{
+					tempScanNode(d),
+					substProbeNode(vi[sub.ProbeVar], keyVar, keyAttr),
+				},
+			}
+		} else if a.Sels > 0 && b.Sels > 0 {
+			t.Prologue = append(t.Prologue, materializeNode(a), materializeNode(b))
+			root = &Node{
+				Op:       OpNestLoop,
+				Detail:   fmt.Sprintf("nested scan over temporaries (%s outer, %s inner)", a.Var, b.Var),
+				Children: []*Node{tempScanNode(a), tempScanNode(b)},
+			}
+		} else {
+			root = &Node{
+				Op:       OpNestLoop,
+				Detail:   fmt.Sprintf("nested sequential scan (%s outer, %s inner)", a.Var, b.Var),
+				Children: []*Node{Leaf(*a), Leaf(*b)},
+			}
+		}
+	default:
+		leaves := make([]*Node, len(in.Vars))
+		for i := range in.Vars {
+			v := &in.Vars[i]
+			if v.Sels+v.TSels > 0 {
+				t.Prologue = append(t.Prologue, materializeNode(v))
+				leaves[i] = tempScanNode(v)
+			} else {
+				leaves[i] = Leaf(*v)
+			}
+		}
+		root = leaves[0]
+		for i := 1; i < len(leaves); i++ {
+			root = &Node{
+				Op:       OpNestLoop,
+				Detail:   fmt.Sprintf("nested scan (%s inner)", in.Vars[i].Var),
+				Children: []*Node{root, leaves[i]},
+			}
+		}
+	}
+
+	if in.HasWhere || in.HasWhen {
+		root = &Node{Op: OpFilter, Detail: filterDetail(in), Children: []*Node{root}}
+	}
+	if in.Aggregate {
+		root = &Node{Op: OpAggregate, Detail: projectDetail("aggregate", in.Targets), Children: []*Node{root}}
+	} else {
+		root = &Node{Op: OpProject, Detail: projectDetail("project", in.Targets), Children: []*Node{root}}
+	}
+	if in.Unique {
+		root = &Node{Op: OpDedupe, Detail: "dedupe (retrieve unique)", Children: []*Node{root}}
+	}
+	if in.Sort {
+		root = &Node{Op: OpSort, Detail: "sort (sort by)", Children: []*Node{root}}
+	}
+	if in.Into != "" {
+		root = &Node{Op: OpInsert, Detail: "insert into " + in.Into, Rel: in.Into, Children: []*Node{root}}
+	}
+	t.Root = root
+	return t
+}
+
+// Leaf builds the one-variable access node, applying the access-path
+// decision: a key constant on a keyed file probes; otherwise a usable
+// secondary index probes the index; otherwise key bounds on an ordered
+// file range-scan; otherwise the relation is scanned sequentially.
+func Leaf(v VarInfo) *Node {
+	n := &Node{
+		Var:     v.Var,
+		Rel:     v.Rel,
+		Current: v.Current,
+		Sels:    v.Sels + v.TSels,
+		Pages:   v.Pages,
+	}
+	switch {
+	case v.HasKeyConst && v.Keyed:
+		n.Op = OpProbe
+		n.Detail = fmt.Sprintf("%s, %s = %s", probeKind(v.Method), v.KeyAttr, v.KeyConst)
+	case !v.HasKeyConst && v.IdxName != "":
+		n.Op = OpIndexScan
+		n.Detail = fmt.Sprintf("secondary index %s (%d-level %s) on %s = %d",
+			v.IdxName, v.IdxLevels, v.IdxStructure, v.IdxAttr, v.IdxConst)
+	case (v.HasLo || v.HasHi) && v.Ordered:
+		n.Op = OpRangeScan
+		n.Detail = fmt.Sprintf("range probe, %s in [%s, %s]", v.KeyAttr, bound(v.HasLo, v.KeyLo, "-inf"), bound(v.HasHi, v.KeyHi, "+inf"))
+	default:
+		n.Op = OpSeqScan
+		n.Detail = "sequential scan"
+	}
+	return n
+}
+
+func bound(has bool, v int64, inf string) string {
+	if !has {
+		return inf
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+func probeKind(method string) string {
+	switch method {
+	case "hash":
+		return "hashed access"
+	case "isam":
+		return "ISAM access"
+	case "btree":
+		return "B-tree access"
+	}
+	return "keyed probe"
+}
+
+func materializeNode(v *VarInfo) *Node {
+	return &Node{
+		Op:       OpMaterialize,
+		Var:      v.Var,
+		Rel:      v.Rel,
+		Detail:   fmt.Sprintf("detach %s into temporary", v.Var),
+		Children: []*Node{Leaf(*v)},
+	}
+}
+
+func tempScanNode(v *VarInfo) *Node {
+	return &Node{
+		Op:     OpTempScan,
+		Var:    v.Var,
+		Rel:    v.Rel,
+		Detail: fmt.Sprintf("temporary scan of detached %s", v.Var),
+	}
+}
+
+func substProbeNode(v *VarInfo, keyVar, keyAttr string) *Node {
+	n := &Node{
+		Op:      OpSubstProbe,
+		Var:     v.Var,
+		Rel:     v.Rel,
+		Current: v.Current,
+		Sels:    v.Sels + v.TSels,
+		Pages:   v.Pages,
+		Detail: fmt.Sprintf("substitution probe %s: %s, %s = %s.%s",
+			v.Var, probeKind(v.Method), v.KeyAttr, keyVar, keyAttr),
+	}
+	return n
+}
+
+// chooseSubstitution picks the join conjunct to drive a tuple-substitution
+// join: one side must equate a variable's storage key on a keyed file.
+// Conjuncts are considered in where-clause order; a hash probe is
+// preferred over any other keyed structure because each probe costs a
+// single bucket chain.
+func chooseSubstitution(in Input, vi map[string]*VarInfo) *Subst {
+	var best *Subst
+	bestHash := false
+	for i, j := range in.Joins {
+		sides := [2]struct {
+			probeVar, probeAttr, detachVar string
+			flipped                        bool
+		}{
+			{j.LVar, j.LAttr, j.RVar, false},
+			{j.RVar, j.RAttr, j.LVar, true},
+		}
+		for _, s := range sides {
+			pv := vi[s.probeVar]
+			if pv == nil || vi[s.detachVar] == nil {
+				continue
+			}
+			if pv.KeyAttr == "" || !strings.EqualFold(pv.KeyAttr, s.probeAttr) || !pv.Keyed {
+				continue
+			}
+			isHash := pv.Method == "hash"
+			if best == nil || (isHash && !bestHash) {
+				best = &Subst{ProbeVar: s.probeVar, DetachVar: s.detachVar, EqIndex: i, Flipped: s.flipped}
+				bestHash = isHash
+			}
+		}
+	}
+	return best
+}
+
+func filterDetail(in Input) string {
+	var parts []string
+	if in.HasWhere {
+		parts = append(parts, "where "+in.WhereStr)
+	}
+	if in.HasWhen {
+		parts = append(parts, "when "+in.WhenStr)
+	}
+	return "filter: " + strings.Join(parts, " ")
+}
+
+func projectDetail(kind string, targets []string) string {
+	if len(targets) == 0 {
+		return kind
+	}
+	return fmt.Sprintf("%s (%s)", kind, strings.Join(targets, ", "))
+}

@@ -232,9 +232,25 @@ func (c *concatIter) Next() (page.RID, []byte, bool, error) {
 		if ok {
 			return rid, tup, true, nil
 		}
+		if err := c.its[0].Close(); err != nil {
+			return page.NilRID, nil, false, err
+		}
 		c.its = c.its[1:]
 	}
 	return page.NilRID, nil, false, nil
+}
+
+// Close implements am.Iterator, closing any child iterators not yet
+// exhausted; the first error wins but every child is closed.
+func (c *concatIter) Close() error {
+	var first error
+	for _, it := range c.its {
+		if err := it.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	c.its = nil
+	return first
 }
 
 // chainIter fetches the RIDs of a simple-layout version chain one by one;
@@ -258,4 +274,10 @@ func (c *chainIter) Next() (page.RID, []byte, bool, error) {
 		return rid, tup, true, nil
 	}
 	return page.NilRID, nil, false, nil
+}
+
+// Close implements am.Iterator, releasing the chain position.
+func (c *chainIter) Close() error {
+	c.i = len(c.rids)
+	return nil
 }
