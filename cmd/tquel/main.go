@@ -13,8 +13,14 @@
 //	                      plan with per-operator page I/O (result discarded)
 //	\r                    reset the buffer
 //	\l                    list relations
-//	\now [time]           show or set the logical clock
-//	\advance <seconds>    advance the logical clock
+//	\session [name]       show the current session, or switch to (creating
+//	                      if needed) a named session with its own range
+//	                      bindings and its own "now"
+//	\sessions             list open sessions
+//	\now [time]           show or set the current session's "now"; in the
+//	                      default session this moves the shared clock, in a
+//	                      named session it sets a private as-of override
+//	\advance <seconds>    advance the session's "now" likewise
 //	\cold                 invalidate buffers (next query runs cold)
 //	\q                    quit
 //
@@ -25,6 +31,7 @@ import (
 	"bufio"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -34,8 +41,51 @@ import (
 	"tdbms/internal/tquel"
 )
 
+// shell holds the interactive state: one database and any number of named
+// sessions, each with its own range table and as-of clock.
+type shell struct {
+	db       *core.Database
+	sessions map[string]*core.Conn
+	cur      *core.Conn
+	curName  string
+}
+
+func newShell(db *core.Database) *shell {
+	return &shell{
+		db:       db,
+		sessions: map[string]*core.Conn{"default": db.DefaultSession()},
+		cur:      db.DefaultSession(),
+		curName:  "default",
+	}
+}
+
+// use switches to a named session, creating it on first mention.
+func (sh *shell) use(name string) {
+	if c, ok := sh.sessions[name]; ok {
+		sh.cur, sh.curName = c, name
+		return
+	}
+	c := sh.db.NewSession(name)
+	sh.sessions[name] = c
+	sh.cur, sh.curName = c, name
+}
+
+// now reports the current session's effective "now".
+func (sh *shell) now() temporal.Time { return sh.cur.Now() }
+
+// setNow moves the current session's "now": the default session owns the
+// shared clock, a named session gets a private as-of override.
+func (sh *shell) setNow(t temporal.Time) {
+	if sh.curName == "default" {
+		sh.db.Clock().Set(t)
+		return
+	}
+	sh.cur.SetNow(t)
+}
+
 func main() {
 	db := core.MustOpen(core.Options{Now: temporal.FromUnix(time.Now().UTC())})
+	sh := newShell(db)
 
 	if len(os.Args) > 1 {
 		src, err := os.ReadFile(os.Args[1])
@@ -43,7 +93,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tquel:", err)
 			os.Exit(1)
 		}
-		if err := runScript(db, string(src)); err != nil {
+		if err := runScript(sh.cur, string(src)); err != nil {
 			fmt.Fprintln(os.Stderr, "tquel:", err)
 			os.Exit(1)
 		}
@@ -55,8 +105,12 @@ func main() {
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
 	prompt := func() {
+		name := ""
+		if sh.curName != "default" {
+			name = sh.curName
+		}
 		if buf.Len() == 0 {
-			fmt.Print("tquel> ")
+			fmt.Printf("tquel%s> ", name)
 		} else {
 			fmt.Print("    -> ")
 		}
@@ -67,7 +121,7 @@ func main() {
 		if src == "" {
 			return
 		}
-		if err := runScript(db, src); err != nil {
+		if err := runScript(sh.cur, src); err != nil {
 			fmt.Println("error:", err)
 		}
 	}
@@ -83,7 +137,7 @@ func main() {
 		case trimmed == `\p`:
 			fmt.Println(buf.String())
 		case trimmed == `\plan`:
-			plan, err := db.Explain(strings.TrimSpace(buf.String()))
+			plan, err := sh.cur.Explain(strings.TrimSpace(buf.String()))
 			buf.Reset()
 			if err != nil {
 				fmt.Println("error:", err)
@@ -98,6 +152,32 @@ func main() {
 				pages, _ := db.NumPages(r)
 				fmt.Printf("  %-24s %6d pages\n", r, pages)
 			}
+		case trimmed == `\sessions`:
+			names := make([]string, 0, len(sh.sessions))
+			for n := range sh.sessions {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				marker := " "
+				if n == sh.curName {
+					marker = "*"
+				}
+				c := sh.sessions[n]
+				st := c.Stats()
+				fmt.Printf("%s %-16s now=%s ranges=%d io=%d/%d\n",
+					marker, n, temporal.Format(c.Now(), temporal.Second),
+					len(c.Session().Ranges()), st.Reads+st.Hits, st.Writes)
+			}
+		case strings.HasPrefix(trimmed, `\session`):
+			arg := strings.TrimSpace(strings.TrimPrefix(trimmed, `\session`))
+			if arg == "" {
+				fmt.Println("session:", sh.curName)
+				continue
+			}
+			sh.use(arg)
+			fmt.Printf("session: %s (now: %s)\n", sh.curName,
+				temporal.Format(sh.now(), temporal.Second))
 		case trimmed == `\cold`:
 			if err := db.InvalidateBuffers(); err != nil {
 				fmt.Println("error:", err)
@@ -111,19 +191,19 @@ func main() {
 				fmt.Println("usage: \\advance <seconds>")
 				continue
 			}
-			db.Clock().Advance(secs)
-			fmt.Println("now:", temporal.Format(db.Clock().Now(), temporal.Second))
+			sh.setNow(sh.now() + temporal.Time(secs))
+			fmt.Println("now:", temporal.Format(sh.now(), temporal.Second))
 		case strings.HasPrefix(trimmed, `\now`):
 			arg := strings.TrimSpace(strings.TrimPrefix(trimmed, `\now`))
 			if arg != "" {
-				t, err := temporal.Parse(arg, db.Clock().Now())
+				t, err := temporal.Parse(arg, sh.now())
 				if err != nil {
 					fmt.Println("error:", err)
 					continue
 				}
-				db.Clock().Set(t)
+				sh.setNow(t)
 			}
-			fmt.Println("now:", temporal.Format(db.Clock().Now(), temporal.Second))
+			fmt.Println("now:", temporal.Format(sh.now(), temporal.Second))
 		default:
 			buf.WriteString(line)
 			buf.WriteString("\n")
@@ -132,15 +212,15 @@ func main() {
 	run()
 }
 
-// runScript executes statements one at a time, printing each result that
-// carries rows or a tuple count.
-func runScript(db *core.Database, src string) error {
+// runScript executes statements one at a time in the given session,
+// printing each result that carries rows or a tuple count.
+func runScript(c *core.Conn, src string) error {
 	stmts, err := tquel.ParseAll(src)
 	if err != nil {
 		return err
 	}
 	for _, s := range stmts {
-		res, err := db.ExecStmt(s)
+		res, err := c.ExecStmt(s)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,27 @@
+// Clean fixture for the Database-fields check: the post-session shape.
+// Shared substrate only — catalogs, storage handles, a clock — plus
+// session-neutral bookkeeping (locks, versions, non-string maps).
+package core
+
+import "sync"
+
+// relation stands in for an open relation handle.
+type relation struct {
+	pages int
+}
+
+// Database holds only state every session shares.
+type Database struct {
+	rw      sync.RWMutex
+	version uint64
+	closed  bool
+	rels    map[string]*relation // not a range table: values are handles
+	connSeq int64
+}
+
+// Lookup resolves a relation name against the shared catalog.
+func (db *Database) Lookup(name string) *relation {
+	db.rw.RLock()
+	defer db.rw.RUnlock()
+	return db.rels[name]
+}

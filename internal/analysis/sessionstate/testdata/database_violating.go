@@ -1,0 +1,30 @@
+// Violating fixture for the Database-fields check: a package named core
+// whose Database struct carries per-caller statement state — the exact
+// fields the session extraction removed.
+package core
+
+import "tdbms/internal/buffer"
+
+// Database regresses to the pre-session shape: a shared struct holding
+// one caller's range table, temp counter, and I/O accumulators.
+type Database struct {
+	name string
+
+	ranges  map[string]string
+	tmpSeq  int
+	perStmt buffer.Stats
+	acct    *buffer.Account
+
+	// aliases is a range table under a different name: flagged by type.
+	aliases map[string]string
+}
+
+// Bind records a range variable — mutating shared state per statement.
+func (db *Database) Bind(v, rel string) {
+	db.ranges[v] = rel
+	db.aliases[v] = rel
+	db.tmpSeq++
+	_ = db.perStmt
+	_ = db.acct
+	_ = db.name
+}

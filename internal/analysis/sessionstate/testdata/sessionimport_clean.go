@@ -1,0 +1,21 @@
+// Clean fixture for the session-import check: bookkeeping only — names,
+// a clock override, an I/O account.
+package session
+
+import (
+	"tdbms/internal/buffer"
+	"tdbms/internal/temporal"
+)
+
+// Session is per-caller bookkeeping.
+type Session struct {
+	ranges map[string]string
+	acct   *buffer.Account
+	nowAt  temporal.Time
+	hasNow bool
+}
+
+// Bind records a range variable in this session only.
+func (s *Session) Bind(v, rel string) {
+	s.ranges[v] = rel
+}

@@ -1,0 +1,21 @@
+// Violating fixture for the session-import check: a package named session
+// that pulls in the planner and raw storage — capabilities a session must
+// not have.
+package session
+
+import (
+	"tdbms/internal/plan"
+	"tdbms/internal/storage"
+)
+
+// Session oversteps: it holds an access path and a raw page file.
+type Session struct {
+	tree *plan.Tree
+	mem  *storage.Mem
+}
+
+// Pages reads page counts directly past the buffer manager.
+func (s *Session) Pages() int {
+	_ = s.tree
+	return s.mem.NumPages()
+}

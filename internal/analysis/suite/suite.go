@@ -13,6 +13,7 @@ import (
 	"tdbms/internal/analysis/determinism"
 	"tdbms/internal/analysis/errcheck"
 	"tdbms/internal/analysis/layering"
+	"tdbms/internal/analysis/sessionstate"
 )
 
 // Scoped pairs an analyzer with the set of packages it applies to.
@@ -31,10 +32,16 @@ func underInternal(modPath, pkgPath string) bool {
 //   - layering guards every internal package (internal/storage itself and
 //     internal/buffer are exempted inside the analyzer);
 //   - determinism guards the measurement/figure paths in internal/bench;
+//   - sessionstate guards the session split: core.Database keeps no
+//     per-caller statement state, and internal/session imports neither
+//     the planner nor raw storage;
 //   - errcheck guards all of internal/;
 //   - copylocks guards the whole module, examples and commands included.
 var Checks = []Scoped{
 	{layering.Analyzer, underInternal},
+	{sessionstate.Analyzer, func(modPath, pkgPath string) bool {
+		return pkgPath == modPath+"/internal/core" || pkgPath == modPath+"/internal/session"
+	}},
 	{determinism.Analyzer, func(modPath, pkgPath string) bool {
 		return pkgPath == modPath+"/internal/bench"
 	}},

@@ -10,10 +10,23 @@
 // The frame count is configurable (NewWithFrames) so the buffer-sensitivity
 // ablation can quantify what the paper's single-frame policy filtered out;
 // the benchmark itself always uses one frame.
+//
+// Concurrency model: the frames and the global counters live in a shared
+// pool guarded by a mutex, while a Buffered value is a cheap per-caller
+// handle onto that pool. Handles derived with WithAccount additionally
+// charge every fetch, hit, and flush to a per-session Account, so one
+// statement's I/O delta can be read without a global counter snapshot.
+// Because concurrent readers share (and contend for) the same frames, each
+// handle reads pages through a private scratch copy: the frame can be
+// evicted by another session the moment the pool mutex is released, but the
+// scratch stays valid until the handle's next operation — the same lifetime
+// the single-threaded contract always promised.
 package buffer
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"tdbms/internal/page"
 	"tdbms/internal/storage"
@@ -36,6 +49,39 @@ func (s Stats) Sub(t Stats) Stats {
 	return Stats{Reads: s.Reads - t.Reads, Writes: s.Writes - t.Writes, Hits: s.Hits - t.Hits}
 }
 
+// Account accumulates the I/O charged to one session across every pool its
+// handles touch. Counters are atomic because one session may hold handles
+// on many relations and its Stats may be read while another of its pools is
+// mid-operation.
+type Account struct {
+	reads  atomic.Int64
+	writes atomic.Int64
+	hits   atomic.Int64
+}
+
+// NewAccount returns a zeroed account.
+func NewAccount() *Account { return &Account{} }
+
+// Stats returns the account's counters.
+func (a *Account) Stats() Stats {
+	return Stats{Reads: a.reads.Load(), Writes: a.writes.Load(), Hits: a.hits.Load()}
+}
+
+// Reset zeroes the account.
+func (a *Account) Reset() {
+	a.reads.Store(0)
+	a.writes.Store(0)
+	a.hits.Store(0)
+}
+
+// Charge adds a delta measured elsewhere (the exclusive-lock DML path
+// brackets the global counters and charges the difference here).
+func (a *Account) Charge(d Stats) {
+	a.reads.Add(d.Reads)
+	a.writes.Add(d.Writes)
+	a.hits.Add(d.Hits)
+}
+
 // frame is one buffer slot.
 type frame struct {
 	id    page.ID
@@ -44,15 +90,39 @@ type frame struct {
 	used  int64 // last-use tick for LRU
 }
 
-// Buffered wraps a paged file with a small set of buffer frames (one, under
-// the paper's policy) and I/O counters. It is the only path by which access
-// methods touch pages.
-type Buffered struct {
-	name   string
-	file   storage.File
+// view is one handle's private scratch page: the stable copy of the page
+// most recently fetched or allocated through that handle.
+type view struct {
+	pg    page.Page
+	id    page.ID
+	dirty bool // the scratch was modified and must be synced to its frame
+}
+
+// pool is the shared state of one buffered file: frames, counters, and the
+// pending scratch whose content is authoritative until the next operation.
+type pool struct {
+	name string
+	file storage.File
+
+	mu     sync.Mutex
 	frames []frame
 	tick   int64
 	stats  Stats
+	// pending is the scratch most recently handed out by Fetch or Allocate
+	// on any handle. Callers may mutate it until their next buffer call, so
+	// every pool operation first syncs a dirty pending back into its frame.
+	pending *view
+}
+
+// Buffered is a handle onto a shared frame pool. The zero-account handle
+// returned by New charges only the pool's global counters; handles derived
+// with WithAccount also charge their session. It is the only path by which
+// access methods touch pages. A handle is not safe for concurrent use; the
+// pool behind it is.
+type Buffered struct {
+	p    *pool
+	acct *Account
+	v    *view
 }
 
 // New wraps f in a single-frame buffer — the paper's measurement policy.
@@ -65,85 +135,141 @@ func NewWithFrames(name string, f storage.File, n int) *Buffered {
 	if n < 1 {
 		n = 1
 	}
-	b := &Buffered{name: name, file: f, frames: make([]frame, n)}
-	for i := range b.frames {
-		b.frames[i].id = page.Nil
+	p := &pool{name: name, file: f, frames: make([]frame, n)}
+	for i := range p.frames {
+		p.frames[i].id = page.Nil
 	}
-	return b
+	return &Buffered{p: p, v: &view{id: page.Nil}}
 }
 
+// WithAccount returns a new handle on the same pool that charges its I/O to
+// a (in addition to the pool's global counters). Sessions derive their
+// read-graph handles this way.
+func (b *Buffered) WithAccount(a *Account) *Buffered {
+	return &Buffered{p: b.p, acct: a, v: &view{id: page.Nil}}
+}
+
+// Account returns the account this handle charges, or nil for the root
+// handle.
+func (b *Buffered) Account() *Account { return b.acct }
+
 // Name returns the relation/file name this buffer serves.
-func (b *Buffered) Name() string { return b.name }
+func (b *Buffered) Name() string { return b.p.name }
 
 // Frames reports the configured frame count.
-func (b *Buffered) Frames() int { return len(b.frames) }
+func (b *Buffered) Frames() int { return len(b.p.frames) }
 
-// lookup finds the frame holding id, or nil.
-func (b *Buffered) lookup(id page.ID) *frame {
-	for i := range b.frames {
-		if b.frames[i].id == id {
-			return &b.frames[i]
+// lookup finds the frame holding id, or nil. Caller holds p.mu.
+func (p *pool) lookup(id page.ID) *frame {
+	for i := range p.frames {
+		if p.frames[i].id == id {
+			return &p.frames[i]
 		}
 	}
 	return nil
 }
 
-// victim picks the least-recently-used frame.
-func (b *Buffered) victim() *frame {
-	v := &b.frames[0]
-	for i := 1; i < len(b.frames); i++ {
-		if b.frames[i].used < v.used {
-			v = &b.frames[i]
+// victim picks the least-recently-used frame. Caller holds p.mu.
+func (p *pool) victim() *frame {
+	v := &p.frames[0]
+	for i := 1; i < len(p.frames); i++ {
+		if p.frames[i].used < v.used {
+			v = &p.frames[i]
 		}
 	}
 	return v
 }
 
+// sync writes a dirty pending scratch back into its frame. Between the
+// operation that set pending and this sync no other pool operation has run,
+// so the frame still holds pending.id. Caller holds p.mu.
+func (p *pool) sync() {
+	if p.pending == nil || !p.pending.dirty {
+		return
+	}
+	if f := p.lookup(p.pending.id); f != nil {
+		f.pg = p.pending.pg
+		f.dirty = true
+	}
+	p.pending.dirty = false
+}
+
+// charge bumps the pool counters and mirrors the delta to the handle's
+// account. Caller holds p.mu.
+func (b *Buffered) charge(d Stats) {
+	b.p.stats = b.p.stats.Add(d)
+	if b.acct != nil {
+		b.acct.Charge(d)
+	}
+}
+
+// flushFrame writes a dirty frame back, charging the write to b. Caller
+// holds p.mu.
 func (b *Buffered) flushFrame(f *frame) error {
 	if f.dirty && f.id != page.Nil {
-		if err := b.file.WritePage(f.id, &f.pg); err != nil {
+		if err := b.p.file.WritePage(f.id, &f.pg); err != nil {
 			return err
 		}
-		b.stats.Writes++
+		b.charge(Stats{Writes: 1})
 	}
 	f.dirty = false
 	return nil
 }
 
 // Fetch brings page id into a frame (evicting and, if dirty, flushing the
-// LRU occupant) and returns a pointer to it. The pointer is valid only
-// until the next Fetch or Allocate on this buffer.
+// LRU occupant) and returns a pointer to the handle's stable copy of it.
+// The pointer is valid only until the next Fetch or Allocate on this
+// handle; modifications must be announced with MarkDirty before then.
 func (b *Buffered) Fetch(id page.ID) (*page.Page, error) {
-	b.tick++
-	if f := b.lookup(id); f != nil {
-		b.stats.Hits++
-		f.used = b.tick
-		return &f.pg, nil
+	p := b.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.sync()
+	p.tick++
+	f := p.lookup(id)
+	if f != nil {
+		b.charge(Stats{Hits: 1})
+		f.used = p.tick
+	} else {
+		f = p.victim()
+		if err := b.flushFrame(f); err != nil {
+			return nil, err
+		}
+		if err := p.file.ReadPage(id, &f.pg); err != nil {
+			f.id = page.Nil
+			p.pending = nil
+			return nil, err
+		}
+		f.id = id
+		f.used = p.tick
+		b.charge(Stats{Reads: 1})
 	}
-	f := b.victim()
-	if err := b.flushFrame(f); err != nil {
-		return nil, err
-	}
-	if err := b.file.ReadPage(id, &f.pg); err != nil {
-		f.id = page.Nil
-		return nil, err
-	}
-	f.id = id
-	f.used = b.tick
-	b.stats.Reads++
-	return &f.pg, nil
+	b.v.pg = f.pg
+	b.v.id = id
+	b.v.dirty = false
+	p.pending = b.v
+	return &b.v.pg, nil
 }
 
 // MarkDirty records that the most recently fetched page was modified; it
 // will be written back on eviction or Flush.
 func (b *Buffered) MarkDirty() {
+	p := b.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.pending == b.v && b.v.id != page.Nil {
+		b.v.dirty = true
+		return
+	}
+	// Not the pending scratch (another handle operated in between): fall
+	// back to dirtying the most recently used frame, as before the split.
 	var mru *frame
-	for i := range b.frames {
-		if b.frames[i].id == page.Nil {
+	for i := range p.frames {
+		if p.frames[i].id == page.Nil {
 			continue
 		}
-		if mru == nil || b.frames[i].used > mru.used {
-			mru = &b.frames[i]
+		if mru == nil || p.frames[i].used > mru.used {
+			mru = &p.frames[i]
 		}
 	}
 	if mru != nil {
@@ -152,29 +278,47 @@ func (b *Buffered) MarkDirty() {
 }
 
 // Allocate extends the file by one page, brings the new (unformatted) page
-// into a frame marked dirty, and returns its ID. Allocation itself does not
-// count as a read; the page is counted as a write when flushed.
+// into a frame marked dirty, and returns its ID with the handle's stable
+// copy. Allocation itself does not count as a read; the page is counted as
+// a write when flushed.
 func (b *Buffered) Allocate() (page.ID, *page.Page, error) {
-	b.tick++
-	f := b.victim()
+	p := b.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.sync()
+	p.tick++
+	f := p.victim()
 	if err := b.flushFrame(f); err != nil {
 		return page.Nil, nil, err
 	}
-	id, err := b.file.Allocate()
+	id, err := p.file.Allocate()
 	if err != nil {
 		return page.Nil, nil, err
 	}
 	f.pg = page.Page{}
 	f.id = id
-	f.used = b.tick
+	f.used = p.tick
 	f.dirty = true
-	return id, &f.pg, nil
+	b.v.pg = page.Page{}
+	b.v.id = id
+	b.v.dirty = true // callers format the fresh page in place
+	p.pending = b.v
+	return id, &b.v.pg, nil
 }
 
 // Flush writes every dirty frame back. The frames remain resident.
 func (b *Buffered) Flush() error {
-	for i := range b.frames {
-		if err := b.flushFrame(&b.frames[i]); err != nil {
+	p := b.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return b.flushLocked()
+}
+
+func (b *Buffered) flushLocked() error {
+	p := b.p
+	p.sync()
+	for i := range p.frames {
+		if err := b.flushFrame(&p.frames[i]); err != nil {
 			return err
 		}
 	}
@@ -185,42 +329,67 @@ func (b *Buffered) Flush() error {
 // guaranteed read. The benchmark calls this between queries to make each
 // measurement cold.
 func (b *Buffered) Invalidate() error {
-	if err := b.Flush(); err != nil {
+	p := b.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := b.flushLocked(); err != nil {
 		return err
 	}
-	for i := range b.frames {
-		b.frames[i].id = page.Nil
+	for i := range p.frames {
+		p.frames[i].id = page.Nil
 	}
+	p.pending = nil
 	return nil
 }
 
 // NumPages reports the current file size in pages.
-func (b *Buffered) NumPages() int { return b.file.NumPages() }
+func (b *Buffered) NumPages() int {
+	b.p.mu.Lock()
+	defer b.p.mu.Unlock()
+	return b.p.file.NumPages()
+}
 
-// Stats returns the counters accumulated since the last ResetStats.
-func (b *Buffered) Stats() Stats { return b.stats }
+// Stats returns the pool's global counters accumulated since the last
+// ResetStats, regardless of which handle or account caused them.
+func (b *Buffered) Stats() Stats {
+	b.p.mu.Lock()
+	defer b.p.mu.Unlock()
+	return b.p.stats
+}
 
-// ResetStats zeroes the counters.
-func (b *Buffered) ResetStats() { b.stats = Stats{} }
+// ResetStats zeroes the pool's global counters. Session accounts are
+// owned by their sessions and are not touched.
+func (b *Buffered) ResetStats() {
+	b.p.mu.Lock()
+	defer b.p.mu.Unlock()
+	b.p.stats = Stats{}
+}
 
 // Truncate discards all pages and empties the frames.
 func (b *Buffered) Truncate() error {
-	for i := range b.frames {
-		b.frames[i].id = page.Nil
-		b.frames[i].dirty = false
+	p := b.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.frames {
+		p.frames[i].id = page.Nil
+		p.frames[i].dirty = false
 	}
-	return b.file.Truncate()
+	p.pending = nil
+	return p.file.Truncate()
 }
 
 // Close flushes and closes the underlying file.
 func (b *Buffered) Close() error {
-	if err := b.Flush(); err != nil {
+	p := b.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := b.flushLocked(); err != nil {
 		return err
 	}
-	return b.file.Close()
+	return p.file.Close()
 }
 
 // String describes the buffer for diagnostics.
 func (b *Buffered) String() string {
-	return fmt.Sprintf("buffer(%s, %d frames)", b.name, len(b.frames))
+	return fmt.Sprintf("buffer(%s, %d frames)", b.p.name, len(b.p.frames))
 }

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCloseIdempotent closes a disk-backed database twice: the first close
+// checkpoints and releases the files, the second is a no-op.
+func TestCloseIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := db.Exec(`create persistent emp (id = i4)`); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// TestClosedDatabaseFailsCleanly checks that statements and checkpoints
+// against a closed database return errClosed instead of writing through
+// released files.
+func TestClosedDatabaseFailsCleanly(t *testing.T) {
+	db := MustOpen(Options{})
+	if _, err := db.Exec(`create emp (id = i4)`); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := db.Checkpoint(); err != errClosed {
+		t.Fatalf("checkpoint after close: err = %v, want errClosed", err)
+	}
+	if _, err := db.Exec(`retrieve (e.id)`); err != errClosed {
+		t.Fatalf("exec after close: err = %v, want errClosed", err)
+	}
+	if _, err := db.Load("emp", nil); err != errClosed {
+		t.Fatalf("load after close: err = %v, want errClosed", err)
+	}
+}
+
+// TestFailedOpenCleansUp corrupts the catalog sidecar so Open fails after
+// it may have opened some files, then checks the failure is clean: the
+// error is reported, and fixing the sidecar lets a fresh Open succeed on
+// the same directory.
+func TestFailedOpenCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := db.Exec(`create persistent emp (id = i4)
+		append to emp (id = 1)`); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	sidecar := filepath.Join(dir, catalogFile)
+	good, err := os.ReadFile(sidecar)
+	if err != nil {
+		t.Fatalf("read sidecar: %v", err)
+	}
+	if err := os.WriteFile(sidecar, []byte(`{"version": 1, "relations": [`), 0o644); err != nil {
+		t.Fatalf("corrupt sidecar: %v", err)
+	}
+	if _, err := Open(Options{Dir: dir}); err == nil {
+		t.Fatalf("open with corrupt sidecar succeeded")
+	}
+
+	if err := os.WriteFile(sidecar, good, 0o644); err != nil {
+		t.Fatalf("restore sidecar: %v", err)
+	}
+	db2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen after restore: %v", err)
+	}
+	defer db2.Close()
+	res, err := db2.Exec(`range of e is emp retrieve (e.id)`)
+	if err != nil {
+		t.Fatalf("retrieve after reopen: %v", err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("got %d rows after reopen, want 1", len(res.Rows))
+	}
+}

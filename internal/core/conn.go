@@ -1,0 +1,345 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"tdbms/internal/buffer"
+	"tdbms/internal/plan"
+	"tdbms/internal/session"
+	"tdbms/internal/temporal"
+	"tdbms/internal/tquel"
+)
+
+// errClosed reports statement execution against a closed database.
+var errClosed = errors.New("core: database is closed")
+
+// Conn executes statements for one session. It embeds the shared Database
+// (catalog, storage, clock) and carries the per-caller state — range table,
+// as-of override, I/O account, temporary namer — in a session.Session.
+//
+// Statements on one Conn are serialized by its own mutex; statements on
+// different Conns follow the database's single-writer/multi-reader
+// protocol: retrieves and range declarations run under a shared lock
+// against a session-private read graph (relation handles whose buffers
+// charge the session's account), while DML and DDL take the exclusive lock
+// and run against the root graph, charging the session by global-counter
+// delta. The benchmark drives the implicit default session only, so every
+// Figure 5–10 counter is untouched by this machinery.
+type Conn struct {
+	*Database
+	sess *session.Session
+
+	// mu serializes statements on this Conn.
+	mu sync.Mutex
+
+	// active is the relation graph of the statement in flight: the
+	// session's read graph under a shared lock, the root graph under the
+	// exclusive lock. Conn.handle resolves against it.
+	active map[string]*relHandle
+	// statsFn reads the I/O counters attributed to the statement in
+	// flight. It must never take the database lock (the statement already
+	// holds it, and the lock is not reentrant).
+	statsFn func() buffer.Stats
+
+	// graph is the cached session read graph, rebuilt lazily whenever a
+	// writer has bumped the database version since it was built.
+	graph        map[string]*relHandle
+	graphVersion uint64
+}
+
+// Session exposes the connection's session state (for shells and tests).
+func (c *Conn) Session() *session.Session { return c.sess }
+
+// Name returns the session's display name.
+func (c *Conn) Name() string { return c.sess.Name() }
+
+// NewSession opens a new session on the database. Sessions are cheap: a
+// handle graph is built lazily on first read and shares all frames and
+// pages with every other session.
+func (db *Database) NewSession(name string) *Conn {
+	db.rw.Lock()
+	defer db.rw.Unlock()
+	db.connSeq++
+	if name == "" {
+		name = fmt.Sprintf("session-%d", db.connSeq)
+	}
+	return &Conn{Database: db, sess: session.New(db.connSeq, name)}
+}
+
+// DefaultSession returns the implicit session that Database.Exec uses.
+func (db *Database) DefaultSession() *Conn { return db.def }
+
+// now is the session's default "now": the as-of override when set,
+// otherwise the database clock.
+func (db *Conn) now() temporal.Time {
+	if t, ok := db.sess.NowOverride(); ok {
+		return t
+	}
+	return db.clock.Now()
+}
+
+// SetNow overrides this session's default "now" without moving the shared
+// database clock — the session sees the database as of t.
+func (c *Conn) SetNow(t temporal.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sess.SetNow(t)
+}
+
+// ClearNow removes the session's as-of override.
+func (c *Conn) ClearNow() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sess.ClearNow()
+}
+
+// Now returns the session's default "now".
+func (c *Conn) Now() temporal.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now()
+}
+
+// Stats returns the I/O charged to this session since its creation (or the
+// last ResetStats): shared-lock retrieves via per-fetch account charging,
+// exclusive-lock statements via global-counter delta.
+func (c *Conn) Stats() buffer.Stats {
+	return c.sess.Account().Stats()
+}
+
+// ResetStats zeroes the session's account. The shared pool counters are
+// owned by the database (Database.ResetStats).
+func (c *Conn) ResetStats() {
+	c.sess.Account().Reset()
+}
+
+// isReadStmt classifies a statement under the concurrency protocol:
+// retrieves without a destination and range declarations touch no shared
+// state and run under the shared lock; everything else — DML, DDL, copy,
+// and retrieve-into (it creates a relation) — is a writer.
+func isReadStmt(stmt tquel.Statement) bool {
+	switch s := stmt.(type) {
+	case *tquel.RangeStmt:
+		return true
+	case *tquel.RetrieveStmt:
+		return s.Into == ""
+	}
+	return false
+}
+
+// run executes one statement body with the session prepared: the
+// database-level lock, the statement graph, and the stats source. It adds
+// the statement's I/O delta to the result, exactly as ExecStmt always has.
+func (c *Conn) run(read bool, fn func() (*Result, error)) (*Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	db := c.Database
+	if read {
+		db.rw.RLock()
+		defer db.rw.RUnlock()
+	} else {
+		db.rw.Lock()
+		defer db.rw.Unlock()
+	}
+	if db.closed {
+		return nil, errClosed
+	}
+	if read {
+		c.refreshGraph()
+		c.active = c.graph
+		c.statsFn = c.sess.Account().Stats
+	} else {
+		c.active = db.rels
+		c.statsFn = db.statsNoLock
+		// Even a failed writer may have mutated structures; every session's
+		// read graph must be rebuilt.
+		defer func() { db.version++ }()
+	}
+	defer func() { c.active, c.statsFn = nil, nil }()
+	before := c.statsFn()
+	res, err := fn()
+	if err != nil {
+		return nil, err
+	}
+	d := c.statsFn().Sub(before)
+	res.Input += d.Reads
+	res.Output += d.Writes
+	if !read {
+		// Writers run on the root graph (account-free handles); the delta
+		// under the exclusive lock is exactly this statement's I/O.
+		c.sess.Account().Charge(d)
+	}
+	return res, nil
+}
+
+// refreshGraph rebuilds the session read graph if a writer has changed the
+// database since it was built. Clones share every page, frame, and
+// directory with the root handles; only the accounting differs. Caller
+// holds the database lock.
+func (c *Conn) refreshGraph() {
+	db := c.Database
+	if c.graph != nil && c.graphVersion == db.version {
+		return
+	}
+	a := c.sess.Account()
+	g := make(map[string]*relHandle, len(db.rels))
+	for name, h := range db.rels {
+		g[name] = h.withAccount(a)
+	}
+	c.graph = g
+	c.graphVersion = db.version
+}
+
+// handle resolves a relation against the statement's active graph.
+func (db *Conn) handle(name string) (*relHandle, error) {
+	h, ok := db.active[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("core: relation %q does not exist", name)
+	}
+	return h, nil
+}
+
+// relForVar resolves a range variable to its relation handle. A binding
+// whose relation has been destroyed is dropped lazily — destroy cannot
+// reach into other sessions' range tables.
+func (db *Conn) relForVar(v string) (*relHandle, error) {
+	if rel, ok := db.sess.Resolve(v); ok {
+		if h, err := db.handle(rel); err == nil {
+			return h, nil
+		}
+		db.sess.Drop(v)
+	}
+	return nil, fmt.Errorf("core: range variable %q is not declared (use `range of %s is <relation>`)", v, v)
+}
+
+// Exec parses and executes a sequence of TQuel statements on this session,
+// returning the result of the last retrieve (or a row-count result for
+// DML).
+func (c *Conn) Exec(src string) (*Result, error) {
+	stmts, err := tquel.ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) == 0 {
+		return nil, fmt.Errorf("core: empty statement")
+	}
+	var res *Result
+	for _, s := range stmts {
+		res, err = c.ExecStmt(s)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// ExecStmt executes one parsed statement on this session. The result's
+// Input/Output fields report the page I/O the statement performed against
+// user relations, their indexes, and any temporary relations.
+func (c *Conn) ExecStmt(stmt tquel.Statement) (*Result, error) {
+	return c.run(isReadStmt(stmt), func() (*Result, error) {
+		return c.execDispatch(stmt)
+	})
+}
+
+func (db *Conn) execDispatch(stmt tquel.Statement) (*Result, error) {
+	switch s := stmt.(type) {
+	case *tquel.RangeStmt:
+		if _, err := db.handle(s.Rel); err != nil {
+			return nil, err
+		}
+		db.sess.Bind(s.Var, s.Rel)
+		return &Result{}, nil
+	case *tquel.CreateStmt:
+		return db.execCreate(s)
+	case *tquel.ModifyStmt:
+		return db.execModify(s)
+	case *tquel.DestroyStmt:
+		return db.execDestroy(s)
+	case *tquel.IndexStmt:
+		return db.execIndex(s)
+	case *tquel.CopyStmt:
+		return db.execCopy(s)
+	case *tquel.RetrieveStmt:
+		return db.execRetrieve(s)
+	case *tquel.AppendStmt:
+		return db.execAppend(s)
+	case *tquel.DeleteStmt:
+		return db.execDelete(s)
+	case *tquel.ReplaceStmt:
+		return db.execReplace(s)
+	}
+	return nil, fmt.Errorf("core: unsupported statement %T", stmt)
+}
+
+// QueryPlan executes a retrieve on this session and returns both the
+// result and the executed physical plan, annotated with the pages each
+// operator read and wrote. The result's Input/Output totals are computed
+// the same way ExecStmt computes them, so the tree's attribution sums to
+// them.
+func (c *Conn) QueryPlan(src string) (*Result, *plan.Tree, error) {
+	stmt, err := tquel.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	ret, ok := stmt.(*tquel.RetrieveStmt)
+	if !ok {
+		return nil, nil, fmt.Errorf("core: explain applies to retrieve statements, not %T", stmt)
+	}
+	var t *plan.Tree
+	res, err := c.run(isReadStmt(ret), func() (*Result, error) {
+		var res *Result
+		var err error
+		res, t, err = c.runRetrieve(ret)
+		return res, err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, t, nil
+}
+
+// Explain runs a retrieve statement on this session and describes the plan
+// it executed: the access path per range variable, the multi-variable
+// strategy, and the pages of I/O each operator actually caused — measured,
+// not estimated.
+func (c *Conn) Explain(src string) (string, error) {
+	res, t, err := c.QueryPlan(src)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString(t.Render())
+	fmt.Fprintf(&b, "  totals: input=%d output=%d pages", res.Input, res.Output)
+	if res.TempInput+res.TempOutput > 0 {
+		fmt.Fprintf(&b, " (temporaries: %d in, %d out)", res.TempInput, res.TempOutput)
+	}
+	fmt.Fprintf(&b, ", %d row(s)\n", len(res.Rows))
+	return b.String(), nil
+}
+
+// EnableTwoLevel converts a relation to the two-level store of Section 6
+// under the writer protocol. Existing current versions stay in the primary
+// store; existing history versions move to the history store.
+func (c *Conn) EnableTwoLevel(name string, clustered bool) error {
+	_, err := c.run(false, func() (*Result, error) {
+		h, err := c.handle(name)
+		if err != nil {
+			return nil, err
+		}
+		if !h.desc.Type.HasTransactionTime() && !h.desc.Type.HasValidTime() {
+			return nil, fmt.Errorf("core: two-level store needs a versioned relation, %q is static", name)
+		}
+		if _, already := h.src.(*twoLevelSource); already {
+			return nil, fmt.Errorf("core: relation %q already uses a two-level store", name)
+		}
+		if err := c.convertToTwoLevel(h, clustered); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	})
+	return err
+}

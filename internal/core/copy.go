@@ -18,14 +18,14 @@ import (
 // tab-separated, either the user attributes alone (implicit times default
 // as in an append) or the full stored schema including time attributes
 // (preserving history across dump/reload).
-func (db *Database) execCopy(s *tquel.CopyStmt) (*Result, error) {
+func (db *Conn) execCopy(s *tquel.CopyStmt) (*Result, error) {
 	if s.Into {
 		return db.copyOut(s)
 	}
 	return db.copyIn(s)
 }
 
-func (db *Database) copyOut(s *tquel.CopyStmt) (res *Result, retErr error) {
+func (db *Conn) copyOut(s *tquel.CopyStmt) (res *Result, retErr error) {
 	h, err := db.handle(s.Rel)
 	if err != nil {
 		return nil, err
@@ -77,7 +77,7 @@ func (db *Database) copyOut(s *tquel.CopyStmt) (res *Result, retErr error) {
 	return &Result{Affected: n}, nil
 }
 
-func (db *Database) copyIn(s *tquel.CopyStmt) (*Result, error) {
+func (db *Conn) copyIn(s *tquel.CopyStmt) (*Result, error) {
 	h, err := db.handle(s.Rel)
 	if err != nil {
 		return nil, err
@@ -106,7 +106,7 @@ func (db *Database) copyIn(s *tquel.CopyStmt) (*Result, error) {
 				s.File, lineNo, len(fields), desc.NumUserAttrs, desc.Schema.NumAttrs())
 		}
 		for i, field := range fields {
-			v, err := parseField(desc.Schema.Attr(i), field, db.clock.Now())
+			v, err := parseField(desc.Schema.Attr(i), field, db.now())
 			if err != nil {
 				return nil, fmt.Errorf("core: %s line %d: %v", s.File, lineNo, err)
 			}
@@ -155,6 +155,12 @@ func parseField(a tuple.Attr, field string, now temporal.Time) (tuple.Value, err
 // times default like an append at the current clock) or the full stored
 // schema.
 func (db *Database) Load(rel string, rows [][]tuple.Value) (int, error) {
+	db.rw.Lock()
+	defer db.rw.Unlock()
+	if db.closed {
+		return 0, errClosed
+	}
+	defer func() { db.version++ }()
 	h, err := db.handle(rel)
 	if err != nil {
 		return 0, err

@@ -11,10 +11,12 @@ import (
 	"fmt"
 	"path/filepath"
 	"strings"
+	"sync"
 
 	"tdbms/internal/buffer"
 	"tdbms/internal/catalog"
 	"tdbms/internal/secindex"
+	"tdbms/internal/session"
 	"tdbms/internal/storage"
 	"tdbms/internal/temporal"
 	"tdbms/internal/tquel"
@@ -43,14 +45,29 @@ type Options struct {
 }
 
 // Database is a temporal database: a catalog of typed relations, their open
-// storage files, the range-variable table, and the logical clock.
+// storage files, and the logical clock. All per-caller state — range
+// tables, as-of overrides, per-statement I/O accounting — lives in
+// sessions (Conn); the Database itself is shared by every session under a
+// single-writer/multi-reader protocol.
 type Database struct {
-	opts   Options
-	cat    *catalog.Catalog
-	rels   map[string]*relHandle
-	ranges map[string]string // range variable -> relation name
-	clock  *temporal.Clock
-	tmpSeq int
+	opts  Options
+	cat   *catalog.Catalog
+	rels  map[string]*relHandle
+	clock *temporal.Clock
+
+	// rw is the database-level statement lock: retrieves share it, DML and
+	// DDL hold it exclusively.
+	rw sync.RWMutex
+	// version counts writer statements; sessions rebuild their read graphs
+	// when it moves.
+	version uint64
+	// closed marks a database whose files have been released; Close is
+	// idempotent and later statements fail cleanly.
+	closed bool
+	// def is the implicit session behind Database.Exec.
+	def *Conn
+	// connSeq numbers explicitly created sessions.
+	connSeq int64
 }
 
 // relHandle is an open relation: descriptor plus storage.
@@ -60,17 +77,40 @@ type relHandle struct {
 	indexes map[string]*secindex.Index
 }
 
+// withAccount clones the handle for a session's read graph: the same
+// pages, frames, and directories, reached through buffer handles that
+// charge the session's account.
+func (h *relHandle) withAccount(a *buffer.Account) *relHandle {
+	v := &relHandle{
+		desc:    h.desc,
+		src:     h.src.withAccount(a),
+		indexes: make(map[string]*secindex.Index, len(h.indexes)),
+	}
+	for name, ix := range h.indexes {
+		v.indexes[name] = ix.WithAccount(a)
+	}
+	return v
+}
+
 // Open creates an empty in-memory database or, when opts.Dir names a
 // directory with a catalog sidecar, reattaches the persisted relations.
 func Open(opts Options) (*Database, error) {
 	db := &Database{
-		opts:   opts,
-		cat:    catalog.New(),
-		rels:   make(map[string]*relHandle),
-		ranges: make(map[string]string),
-		clock:  temporal.NewClock(opts.Now),
+		opts:  opts,
+		cat:   catalog.New(),
+		rels:  make(map[string]*relHandle),
+		clock: temporal.NewClock(opts.Now),
 	}
+	db.def = &Conn{Database: db, sess: session.New(0, "default")}
 	if err := db.loadCatalog(); err != nil {
+		// Release whatever files a partial load opened, so a failed Open
+		// leaves no stale handles behind.
+		for _, h := range db.rels {
+			for _, b := range h.buffers() {
+				_ = b.Close() // already failing; the load error wins
+			}
+		}
+		db.closed = true
 		return nil, err
 	}
 	return db, nil
@@ -126,17 +166,10 @@ func (db *Database) handle(name string) (*relHandle, error) {
 	return h, nil
 }
 
-// relForVar resolves a range variable to its relation handle.
-func (db *Database) relForVar(v string) (*relHandle, error) {
-	rel, ok := db.ranges[strings.ToLower(v)]
-	if !ok {
-		return nil, fmt.Errorf("core: range variable %q is not declared (use `range of %s is <relation>`)", v, v)
-	}
-	return db.handle(rel)
-}
-
 // Relation returns the catalog descriptor for a relation.
 func (db *Database) Relation(name string) (*catalog.Relation, error) {
+	db.rw.RLock()
+	defer db.rw.RUnlock()
 	h, err := db.handle(name)
 	if err != nil {
 		return nil, err
@@ -147,6 +180,8 @@ func (db *Database) Relation(name string) (*catalog.Relation, error) {
 // NumPages reports the current size of a relation in pages (Figure 5's
 // space metric).
 func (db *Database) NumPages(name string) (int, error) {
+	db.rw.RLock()
+	defer db.rw.RUnlock()
 	h, err := db.handle(name)
 	if err != nil {
 		return 0, err
@@ -164,8 +199,11 @@ func (h *relHandle) buffers() []*buffer.Buffered {
 }
 
 // ResetStats zeroes the I/O counters of every relation. The benchmark calls
-// it before each measured query.
+// it before each measured query. Session accounts are owned by their
+// sessions (Conn.ResetStats).
 func (db *Database) ResetStats() {
+	db.rw.Lock()
+	defer db.rw.Unlock()
 	for _, h := range db.rels {
 		for _, b := range h.buffers() {
 			b.ResetStats()
@@ -176,6 +214,8 @@ func (db *Database) ResetStats() {
 // InvalidateBuffers empties every relation's buffer frame so the next query
 // starts cold, as each benchmark measurement did.
 func (db *Database) InvalidateBuffers() error {
+	db.rw.Lock()
+	defer db.rw.Unlock()
 	for _, h := range db.rels {
 		for _, b := range h.buffers() {
 			if err := b.Invalidate(); err != nil {
@@ -188,6 +228,15 @@ func (db *Database) InvalidateBuffers() error {
 
 // Stats sums the I/O counters over all user relations and their indexes.
 func (db *Database) Stats() buffer.Stats {
+	db.rw.RLock()
+	defer db.rw.RUnlock()
+	return db.statsNoLock()
+}
+
+// statsNoLock is Stats for callers already holding the database lock
+// (notably attribution inside a running statement — the lock is not
+// reentrant).
+func (db *Database) statsNoLock() buffer.Stats {
 	var s buffer.Stats
 	for _, h := range db.rels {
 		for _, b := range h.buffers() {
@@ -200,6 +249,8 @@ func (db *Database) Stats() buffer.Stats {
 // RelationStats returns the I/O counters of one relation (storage plus
 // indexes).
 func (db *Database) RelationStats(name string) (buffer.Stats, error) {
+	db.rw.RLock()
+	defer db.rw.RUnlock()
 	h, err := db.handle(name)
 	if err != nil {
 		return buffer.Stats{}, err
@@ -211,84 +262,24 @@ func (db *Database) RelationStats(name string) (buffer.Stats, error) {
 	return s, nil
 }
 
-// Exec parses and executes a sequence of TQuel statements, returning the
-// result of the last retrieve (or a row-count result for DML).
+// Exec parses and executes a sequence of TQuel statements on the implicit
+// default session, returning the result of the last retrieve (or a
+// row-count result for DML).
 func (db *Database) Exec(src string) (*Result, error) {
-	stmts, err := tquel.ParseAll(src)
-	if err != nil {
-		return nil, err
-	}
-	if len(stmts) == 0 {
-		return nil, fmt.Errorf("core: empty statement")
-	}
-	var res *Result
-	for _, s := range stmts {
-		res, err = db.ExecStmt(s)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return res, nil
+	return db.def.Exec(src)
 }
 
-// ExecStmt executes one parsed statement. The result's Input/Output fields
-// report the page I/O the statement performed against user relations,
-// their indexes, and any temporary relations.
+// ExecStmt executes one parsed statement on the implicit default session.
+// The result's Input/Output fields report the page I/O the statement
+// performed against user relations, their indexes, and any temporary
+// relations.
 func (db *Database) ExecStmt(stmt tquel.Statement) (*Result, error) {
-	before := db.Stats()
-	res, err := db.execDispatch(stmt)
-	if err != nil {
-		return nil, err
-	}
-	d := db.Stats().Sub(before)
-	res.Input += d.Reads
-	res.Output += d.Writes
-	return res, nil
-}
-
-func (db *Database) execDispatch(stmt tquel.Statement) (*Result, error) {
-	switch s := stmt.(type) {
-	case *tquel.RangeStmt:
-		if _, err := db.handle(s.Rel); err != nil {
-			return nil, err
-		}
-		db.ranges[strings.ToLower(s.Var)] = strings.ToLower(s.Rel)
-		return &Result{}, nil
-	case *tquel.CreateStmt:
-		return db.execCreate(s)
-	case *tquel.ModifyStmt:
-		return db.execModify(s)
-	case *tquel.DestroyStmt:
-		return db.execDestroy(s)
-	case *tquel.IndexStmt:
-		return db.execIndex(s)
-	case *tquel.CopyStmt:
-		return db.execCopy(s)
-	case *tquel.RetrieveStmt:
-		return db.execRetrieve(s)
-	case *tquel.AppendStmt:
-		return db.execAppend(s)
-	case *tquel.DeleteStmt:
-		return db.execDelete(s)
-	case *tquel.ReplaceStmt:
-		return db.execReplace(s)
-	}
-	return nil, fmt.Errorf("core: unsupported statement %T", stmt)
+	return db.def.ExecStmt(stmt)
 }
 
 // EnableTwoLevel converts a relation to the two-level store of Section 6.
 // Existing current versions stay in the primary store; existing history
 // versions move to the history store.
 func (db *Database) EnableTwoLevel(name string, clustered bool) error {
-	h, err := db.handle(name)
-	if err != nil {
-		return err
-	}
-	if !h.desc.Type.HasTransactionTime() && !h.desc.Type.HasValidTime() {
-		return fmt.Errorf("core: two-level store needs a versioned relation, %q is static", name)
-	}
-	if _, already := h.src.(*twoLevelSource); already {
-		return fmt.Errorf("core: relation %q already uses a two-level store", name)
-	}
-	return db.convertToTwoLevel(h, clustered)
+	return db.def.EnableTwoLevel(name, clustered)
 }

@@ -24,7 +24,7 @@ import (
 // execCreate creates a relation. The TQuel create decoration maps onto the
 // taxonomy of Figure 1: `persistent` requests transaction time,
 // `interval`/`event` request valid time.
-func (db *Database) execCreate(s *tquel.CreateStmt) (*Result, error) {
+func (db *Conn) execCreate(s *tquel.CreateStmt) (*Result, error) {
 	typ := catalog.Static
 	model := catalog.ModelNone
 	switch {
@@ -82,7 +82,7 @@ func keyFor(desc *catalog.Relation, attr string) (am.Key, error) {
 // execModify rebuilds a relation's storage structure, as Ingres's modify
 // does: the current contents are unloaded and reloaded into a fresh file of
 // the requested organization and fillfactor.
-func (db *Database) execModify(s *tquel.ModifyStmt) (*Result, error) {
+func (db *Conn) execModify(s *tquel.ModifyStmt) (*Result, error) {
 	h, err := db.handle(s.Rel)
 	if err != nil {
 		return nil, err
@@ -202,7 +202,7 @@ func (db *Database) execModify(s *tquel.ModifyStmt) (*Result, error) {
 	return &Result{Affected: len(tuples)}, nil
 }
 
-func (db *Database) execDestroy(s *tquel.DestroyStmt) (*Result, error) {
+func (db *Conn) execDestroy(s *tquel.DestroyStmt) (*Result, error) {
 	h, err := db.handle(s.Rel)
 	if err != nil {
 		// `destroy` also removes a secondary index by name, as Quel's did.
@@ -247,11 +247,8 @@ func (db *Database) execDestroy(s *tquel.DestroyStmt) (*Result, error) {
 		return nil, err
 	}
 	delete(db.rels, strings.ToLower(s.Rel))
-	for v, rel := range db.ranges {
-		if rel == strings.ToLower(s.Rel) {
-			delete(db.ranges, v)
-		}
-	}
+	// Range bindings over the destroyed relation live in sessions; each
+	// session drops its own lazily (Conn.relForVar).
 	if err := db.saveCatalog(); err != nil {
 		return nil, err
 	}
@@ -273,7 +270,7 @@ func isCurrentTuple(desc *catalog.Relation, tup []byte) bool {
 }
 
 // execIndex builds a secondary index (Section 6) by scanning the relation.
-func (db *Database) execIndex(s *tquel.IndexStmt) (*Result, error) {
+func (db *Conn) execIndex(s *tquel.IndexStmt) (*Result, error) {
 	h, err := db.handle(s.Rel)
 	if err != nil {
 		return nil, err
@@ -382,7 +379,7 @@ func (db *Database) execIndex(s *tquel.IndexStmt) (*Result, error) {
 // versions in the history store in their original arrival order (a history
 // version arrives when superseded, i.e. at its transaction-stop time; the
 // temporal delete marker arrives at its transaction-start time).
-func (db *Database) convertToTwoLevel(h *relHandle, clustered bool) error {
+func (db *Conn) convertToTwoLevel(h *relHandle, clustered bool) error {
 	desc := h.desc
 	if db.opts.Dir != "" {
 		return fmt.Errorf("core: the two-level store keeps run-time state in memory and is not available for disk-backed databases")

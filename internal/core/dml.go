@@ -22,8 +22,8 @@ func setTime(desc *catalog.Relation, tup []byte, idx int, t temporal.Time) {
 // validBounds resolves a DML valid clause against the environment, with the
 // Section 4 defaults: valid from "now" to "forever" (interval relations) or
 // valid at "now" (event relations).
-func (db *Database) validBounds(v *tquel.ValidClause, e *env, event bool) (from, to temporal.Time, err error) {
-	now := db.clock.Now()
+func (db *Conn) validBounds(v *tquel.ValidClause, e *env, event bool) (from, to temporal.Time, err error) {
+	now := db.now()
 	if event {
 		at := now
 		if v != nil {
@@ -123,7 +123,7 @@ func (h *relHandle) indexRemove(tup []byte, rid page.RID) error {
 
 // --- append ---
 
-func (db *Database) execAppend(s *tquel.AppendStmt) (*Result, error) {
+func (db *Conn) execAppend(s *tquel.AppendStmt) (*Result, error) {
 	h, err := db.handle(s.Rel)
 	if err != nil {
 		return nil, err
@@ -143,7 +143,7 @@ func (db *Database) execAppend(s *tquel.AppendStmt) (*Result, error) {
 	}
 
 	if len(seen) == 0 {
-		e := &env{vars: map[string]*binding{}, now: int64(db.clock.Now())}
+		e := &env{vars: map[string]*binding{}, now: int64(db.now())}
 		n, err := db.appendRow(h, s.Targets, s.Valid, e)
 		if err != nil {
 			return nil, err
@@ -158,7 +158,7 @@ func (db *Database) execAppend(s *tquel.AppendStmt) (*Result, error) {
 		return nil, err
 	}
 	affected := 0
-	e := &env{vars: map[string]*binding{}, now: int64(db.clock.Now())}
+	e := &env{vars: map[string]*binding{}, now: int64(db.now())}
 	for _, row := range res.Rows {
 		vals := map[string]tuple.Value{}
 		for i, t := range s.Targets {
@@ -182,7 +182,7 @@ func (db *Database) execAppend(s *tquel.AppendStmt) (*Result, error) {
 }
 
 // appendRow inserts one tuple built from constant targets.
-func (db *Database) appendRow(h *relHandle, targets []tquel.Target, valid *tquel.ValidClause, e *env) (int, error) {
+func (db *Conn) appendRow(h *relHandle, targets []tquel.Target, valid *tquel.ValidClause, e *env) (int, error) {
 	desc := h.desc
 	tup := desc.Schema.NewTuple()
 	base, err := applyTargets(desc, tup, targets, e)
@@ -193,7 +193,7 @@ func (db *Database) appendRow(h *relHandle, targets []tquel.Target, valid *tquel
 }
 
 // appendConstRow inserts one tuple from pre-evaluated values.
-func (db *Database) appendConstRow(h *relHandle, vals map[string]tuple.Value, iv *temporal.Interval, e *env) (int, error) {
+func (db *Conn) appendConstRow(h *relHandle, vals map[string]tuple.Value, iv *temporal.Interval, e *env) (int, error) {
 	desc := h.desc
 	tup := desc.Schema.NewTuple()
 	for name, v := range vals {
@@ -223,9 +223,9 @@ func (db *Database) appendConstRow(h *relHandle, vals map[string]tuple.Value, iv
 // insertNew stamps the implicit time attributes of a fresh version
 // (Section 4: transaction start = now, transaction stop = forever, valid
 // bounds from the valid clause or defaults) and inserts it as current.
-func (db *Database) insertNew(h *relHandle, tup []byte, valid *tquel.ValidClause, e *env) (int, error) {
+func (db *Conn) insertNew(h *relHandle, tup []byte, valid *tquel.ValidClause, e *env) (int, error) {
 	desc := h.desc
-	now := db.clock.Now()
+	now := db.now()
 	if desc.TS >= 0 {
 		setTime(desc, tup, desc.TS, now)
 		setTime(desc, tup, desc.TE, temporal.Forever)
@@ -263,7 +263,7 @@ type candidate struct {
 // dmlCandidates materializes the current versions of v's relation matching
 // the where/when qualification. Materializing first keeps the subsequent
 // inserts from being rescanned (the classic Halloween problem).
-func (db *Database) dmlCandidates(v string, where tquel.Expr, when tquel.TExpr) (*query, []candidate, error) {
+func (db *Conn) dmlCandidates(v string, where tquel.Expr, when tquel.TExpr) (*query, []candidate, error) {
 	h, err := db.relForVar(v)
 	if err != nil {
 		return nil, nil, err
@@ -286,7 +286,7 @@ func (db *Database) dmlCandidates(v string, where tquel.Expr, when tquel.TExpr) 
 	// Route the candidate scan through the planner and executor so DML
 	// uses the same one-variable access-path decision as retrieves.
 	node := plan.Leaf(db.varInfo(q, v))
-	att := exec.NewAttribution(db.Stats)
+	att := exec.NewAttribution(db.statsFn)
 	var cands []candidate
 	l := &lowering{db: db, q: q, att: att}
 	op := l.lowerLeaf(node, func(rid page.RID, tup []byte) error {
@@ -302,7 +302,7 @@ func (db *Database) dmlCandidates(v string, where tquel.Expr, when tquel.TExpr) 
 	return q, cands, nil
 }
 
-func (db *Database) execDelete(s *tquel.DeleteStmt) (*Result, error) {
+func (db *Conn) execDelete(s *tquel.DeleteStmt) (*Result, error) {
 	h, err := db.relForVar(s.Var)
 	if err != nil {
 		return nil, err
@@ -311,7 +311,7 @@ func (db *Database) execDelete(s *tquel.DeleteStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	now := db.clock.Now()
+	now := db.now()
 	for _, c := range cands {
 		if err := db.deleteVersion(h, c, now); err != nil {
 			return nil, err
@@ -324,7 +324,7 @@ func (db *Database) execDelete(s *tquel.DeleteStmt) (*Result, error) {
 // collection: B-tree leaf splits relocate tuples, so the address is found
 // again by probing for the bytewise-identical version. The other access
 // methods never move tuples.
-func (db *Database) resolveCandidate(h *relHandle, c candidate) (candidate, error) {
+func (db *Conn) resolveCandidate(h *relHandle, c candidate) (candidate, error) {
 	if h.desc.Method.StableRIDs() {
 		return c, nil
 	}
@@ -352,7 +352,7 @@ func (db *Database) resolveCandidate(h *relHandle, c candidate) (candidate, erro
 
 // deleteVersion applies the type-specific delete of Section 4 to one
 // current version.
-func (db *Database) deleteVersion(h *relHandle, c candidate, now temporal.Time) error {
+func (db *Conn) deleteVersion(h *relHandle, c candidate, now temporal.Time) error {
 	desc := h.desc
 	c, err := db.resolveCandidate(h, c)
 	if err != nil {
@@ -420,7 +420,7 @@ func (db *Database) deleteVersion(h *relHandle, c candidate, now temporal.Time) 
 	return fmt.Errorf("core: unknown relation type %v", desc.Type)
 }
 
-func (db *Database) execReplace(s *tquel.ReplaceStmt) (*Result, error) {
+func (db *Conn) execReplace(s *tquel.ReplaceStmt) (*Result, error) {
 	h, err := db.relForVar(s.Var)
 	if err != nil {
 		return nil, err
@@ -430,7 +430,7 @@ func (db *Database) execReplace(s *tquel.ReplaceStmt) (*Result, error) {
 		return nil, err
 	}
 	desc := h.desc
-	now := db.clock.Now()
+	now := db.now()
 	b := q.env.vars[s.Var]
 	for _, c := range cands {
 		b.tup = c.tup // targets may reference the old version (seq = h.seq + 1)

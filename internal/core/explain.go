@@ -1,53 +1,20 @@
 package core
 
 import (
-	"fmt"
-	"strings"
-
 	"tdbms/internal/plan"
-	"tdbms/internal/tquel"
 )
 
-// QueryPlan executes a retrieve and returns both the result and the
-// executed physical plan, annotated with the pages each operator read and
-// wrote. The result's Input/Output totals are computed the same way
-// ExecStmt computes them (global counter delta plus temporaries), so the
-// tree's attribution sums to them.
+// QueryPlan executes a retrieve on the implicit default session and returns
+// both the result and the executed physical plan, annotated with the pages
+// each operator read and wrote. See Conn.QueryPlan.
 func (db *Database) QueryPlan(src string) (*Result, *plan.Tree, error) {
-	stmt, err := tquel.Parse(src)
-	if err != nil {
-		return nil, nil, err
-	}
-	ret, ok := stmt.(*tquel.RetrieveStmt)
-	if !ok {
-		return nil, nil, fmt.Errorf("core: explain applies to retrieve statements, not %T", stmt)
-	}
-	before := db.Stats()
-	res, t, err := db.runRetrieve(ret)
-	if err != nil {
-		return nil, nil, err
-	}
-	d := db.Stats().Sub(before)
-	res.Input += d.Reads
-	res.Output += d.Writes
-	return res, t, nil
+	return db.def.QueryPlan(src)
 }
 
-// Explain runs a retrieve statement and describes the plan it executed:
-// the access path per range variable (the "dominant operations" of
-// Section 5.3), the multi-variable strategy, and the pages of I/O each
-// operator actually caused — measured, not estimated.
+// Explain runs a retrieve statement on the implicit default session and
+// describes the plan it executed: the access path per range variable (the
+// "dominant operations" of Section 5.3), the multi-variable strategy, and
+// the pages of I/O each operator actually caused — measured, not estimated.
 func (db *Database) Explain(src string) (string, error) {
-	res, t, err := db.QueryPlan(src)
-	if err != nil {
-		return "", err
-	}
-	var b strings.Builder
-	b.WriteString(t.Render())
-	fmt.Fprintf(&b, "  totals: input=%d output=%d pages", res.Input, res.Output)
-	if res.TempInput+res.TempOutput > 0 {
-		fmt.Fprintf(&b, " (temporaries: %d in, %d out)", res.TempInput, res.TempOutput)
-	}
-	fmt.Fprintf(&b, ", %d row(s)\n", len(res.Rows))
-	return b.String(), nil
+	return db.def.Explain(src)
 }

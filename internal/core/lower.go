@@ -52,7 +52,7 @@ func (q *query) joinConjuncts() []joinConj {
 }
 
 // varInfo summarizes one analyzed variable for the planner.
-func (db *Database) varInfo(q *query, v string) plan.VarInfo {
+func (db *Conn) varInfo(q *query, v string) plan.VarInfo {
 	qv := q.qv[v]
 	desc := qv.h.desc
 	info := plan.VarInfo{
@@ -92,7 +92,7 @@ func (db *Database) varInfo(q *query, v string) plan.VarInfo {
 // buildPlan summarizes the analyzed query for the planner and builds the
 // physical plan tree. It returns the join conjuncts alongside so the
 // lowering can map a substitution choice back to its key expression.
-func (db *Database) buildPlan(q *query, aggregate bool) (*plan.Tree, []joinConj) {
+func (db *Conn) buildPlan(q *query, aggregate bool) (*plan.Tree, []joinConj) {
 	s := q.stmt
 	in := plan.Input{
 		Slice:     "as of now (default)",
@@ -131,7 +131,7 @@ func (db *Database) buildPlan(q *query, aggregate bool) (*plan.Tree, []joinConj)
 
 // lowering carries the state shared by all operators of one query run.
 type lowering struct {
-	db    *Database
+	db    *Conn
 	q     *query
 	out   *emitter
 	att   *exec.Attribution
@@ -324,8 +324,7 @@ func (l *lowering) materialize(n *plan.Node) (*exec.Materialize, error) {
 		idx[i] = d.Schema.Index(name)
 	}
 	tmpSchema := d.Schema.Project(idx, nil)
-	db.tmpSeq++
-	buf, err := db.newBuffer(fmt.Sprintf("tmp_%d", db.tmpSeq))
+	buf, err := db.newBuffer(db.sess.NextTemp())
 	if err != nil {
 		return nil, err
 	}

@@ -191,13 +191,18 @@ func (db *Database) loadCatalog() error {
 		}
 	}
 	// Rebuild the persisted index definitions (scan-based, like `index on`).
+	// Open is single-threaded, so the default session can run execIndex
+	// directly against the root graph.
+	c := db.def
+	c.active = db.rels
+	defer func() { c.active = nil }()
 	for _, sr := range sc.Relations {
 		for _, si := range sr.Indexes {
 			stmt := &tquel.IndexStmt{
 				Rel: sr.Name, Name: si.Name, Attr: si.Attr,
 				Structure: si.Structure, Levels: si.Levels,
 			}
-			if _, err := db.execIndex(stmt); err != nil {
+			if _, err := c.execIndex(stmt); err != nil {
 				return fmt.Errorf("core: rebuilding index %s on %s: %w", si.Name, sr.Name, err)
 			}
 		}
@@ -206,8 +211,18 @@ func (db *Database) loadCatalog() error {
 }
 
 // Checkpoint flushes every buffer and persists the catalog (including
-// mutable B-tree metadata). Close calls it automatically.
+// mutable B-tree metadata). Close calls it automatically. Checkpointing a
+// closed database fails cleanly instead of writing through released files.
 func (db *Database) Checkpoint() error {
+	db.rw.Lock()
+	defer db.rw.Unlock()
+	if db.closed {
+		return errClosed
+	}
+	return db.checkpointLocked()
+}
+
+func (db *Database) checkpointLocked() error {
 	for _, h := range db.rels {
 		for _, b := range h.buffers() {
 			if err := b.Flush(); err != nil {
@@ -218,9 +233,15 @@ func (db *Database) Checkpoint() error {
 	return db.saveCatalog()
 }
 
-// Close checkpoints and releases every file.
+// Close checkpoints and releases every file. Closing an already-closed
+// database is a no-op.
 func (db *Database) Close() error {
-	if err := db.Checkpoint(); err != nil {
+	db.rw.Lock()
+	defer db.rw.Unlock()
+	if db.closed {
+		return nil
+	}
+	if err := db.checkpointLocked(); err != nil {
 		return err
 	}
 	for _, h := range db.rels {
@@ -230,8 +251,8 @@ func (db *Database) Close() error {
 			}
 		}
 	}
+	db.closed = true
 	db.rels = map[string]*relHandle{}
 	db.cat = catalog.New()
-	db.ranges = map[string]string{}
 	return nil
 }

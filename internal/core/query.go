@@ -110,11 +110,12 @@ func isNowConst(x tquel.TExpr) bool {
 
 // analyze resolves variables, the rollback slice, per-variable selections,
 // access-path candidates, and current-only flags.
-func (db *Database) analyze(s *tquel.RetrieveStmt) (*query, error) {
+func (db *Conn) analyze(s *tquel.RetrieveStmt) (*query, error) {
+	now := db.now()
 	q := &query{
 		stmt: s,
 		qv:   map[string]*qvar{},
-		env:  &env{vars: map[string]*binding{}, now: int64(db.clock.Now())},
+		env:  &env{vars: map[string]*binding{}, now: int64(now)},
 	}
 
 	seen := map[string]bool{}
@@ -185,7 +186,7 @@ func (db *Database) analyze(s *tquel.RetrieveStmt) (*query, error) {
 
 	// Rollback slice: explicit as-of, defaulting to "now" (a rollback or
 	// temporal relation shows its current state unless shifted back).
-	q.at, q.thr = db.clock.Now(), db.clock.Now()
+	q.at, q.thr = now, now
 	if s.AsOf != nil {
 		at, _, err := q.env.evalTEvent(s.AsOf.At)
 		if err != nil {
@@ -229,7 +230,7 @@ func (db *Database) analyze(s *tquel.RetrieveStmt) (*query, error) {
 	}
 
 	// Per-variable access-path candidates and current-only flags.
-	sliceIsNow := q.at == db.clock.Now() && q.thr == q.at
+	sliceIsNow := q.at == now && q.thr == q.at
 	for _, v := range q.vars {
 		qv := q.qv[v]
 		desc := qv.h.desc

@@ -14,7 +14,7 @@ import (
 )
 
 // execRetrieve plans and runs a retrieve statement.
-func (db *Database) execRetrieve(s *tquel.RetrieveStmt) (*Result, error) {
+func (db *Conn) execRetrieve(s *tquel.RetrieveStmt) (*Result, error) {
 	res, _, err := db.runRetrieve(s)
 	return res, err
 }
@@ -24,12 +24,12 @@ func (db *Database) execRetrieve(s *tquel.RetrieveStmt) (*Result, error) {
 // whose tree is lowered onto the cursor executor (internal/exec). The
 // returned tree carries the per-operator page attribution of the run —
 // the executed plan, not a prediction.
-func (db *Database) runRetrieve(s *tquel.RetrieveStmt) (*Result, *plan.Tree, error) {
+func (db *Conn) runRetrieve(s *tquel.RetrieveStmt) (*Result, *plan.Tree, error) {
 	q, err := db.analyze(s)
 	if err != nil {
 		return nil, nil, err
 	}
-	out := &emitter{db: db, q: q}
+	out := &emitter{q: q}
 	if err := out.prepare(); err != nil {
 		return nil, nil, err
 	}
@@ -38,7 +38,7 @@ func (db *Database) runRetrieve(s *tquel.RetrieveStmt) (*Result, *plan.Tree, err
 	// catalog's relations (indexes included) plus the query's own
 	// temporaries as they appear.
 	att := exec.NewAttribution(func() buffer.Stats {
-		st := db.Stats()
+		st := db.statsFn()
 		for _, tmp := range q.temps {
 			st = st.Add(tmp.hf.Buffer().Stats())
 		}
@@ -104,7 +104,6 @@ func (db *Database) runRetrieve(s *tquel.RetrieveStmt) (*Result, *plan.Tree, err
 // columns when the query has valid-time semantics. In aggregate mode it
 // accumulates per-tuple values instead and produces one row at the end.
 type emitter struct {
-	db       *Database
 	q        *query
 	cols     []string
 	attrs    []tuple.Attr // inferred target attributes (for `into`)
@@ -446,7 +445,7 @@ func (q *query) resultValidity() (temporal.Interval, bool, error) {
 // materialize stores the emitted rows as a new relation (retrieve into).
 // The result is historical when the query carries valid time, static
 // otherwise; rollback time is never copied (the result is a snapshot).
-func (db *Database) materialize(name string, e *emitter, res *Result) error {
+func (db *Conn) materialize(name string, e *emitter, res *Result) error {
 	create := &tquel.CreateStmt{Rel: name, Attrs: e.attrs}
 	if e.hasValid {
 		create.Model = "interval" // the snapshot keeps valid time only

@@ -2,7 +2,11 @@ package core
 
 import (
 	"tdbms/internal/am"
+	"tdbms/internal/btree"
 	"tdbms/internal/buffer"
+	"tdbms/internal/hashfile"
+	"tdbms/internal/heapfile"
+	"tdbms/internal/isam"
 	"tdbms/internal/page"
 	"tdbms/internal/twolevel"
 )
@@ -51,6 +55,27 @@ type source interface {
 	Buffers() []*buffer.Buffered
 	// NumPages is the total store size in pages.
 	NumPages() int
+	// withAccount returns a read view of the same store whose page I/O is
+	// charged to a. Views share every page and frame with the original;
+	// only the accounting handle differs.
+	withAccount(a *buffer.Account) source
+}
+
+// cloneAMFile rebuilds an access-method view over buf (a handle on the
+// same pool). Access methods keep their shape in Meta, so a fresh view is
+// cheap and reads identical pages.
+func cloneAMFile(f am.File, buf *buffer.Buffered) am.File {
+	switch g := f.(type) {
+	case *heapfile.File:
+		return g.WithBuffer(buf)
+	case *hashfile.File:
+		return hashfile.New(buf, g.Meta())
+	case *isam.File:
+		return isam.New(buf, g.Meta())
+	case *btree.File:
+		return btree.New(buf, g.Meta())
+	}
+	return f
 }
 
 // conventional adapts a single access-method file — the storage of the
@@ -97,6 +122,11 @@ func (c *conventional) Buffers() []*buffer.Buffered { return []*buffer.Buffered{
 
 func (c *conventional) NumPages() int { return c.buf.NumPages() }
 
+func (c *conventional) withAccount(a *buffer.Account) source {
+	buf := c.buf.WithAccount(a)
+	return &conventional{file: cloneAMFile(c.file, buf), buf: buf}
+}
+
 // twoLevelSource adapts twolevel.Store to the source interface.
 type twoLevelSource struct {
 	*twolevel.Store
@@ -127,6 +157,16 @@ func (t *twoLevelSource) Buffers() []*buffer.Buffered {
 
 func (t *twoLevelSource) NumPages() int {
 	return t.primaryBuf.NumPages() + t.historyBuf.NumPages()
+}
+
+func (t *twoLevelSource) withAccount(a *buffer.Account) source {
+	pbuf := t.primaryBuf.WithAccount(a)
+	hbuf := t.historyBuf.WithAccount(a)
+	return &twoLevelSource{
+		Store:      t.Store.View(cloneAMFile(t.Store.Primary(), pbuf), hbuf),
+		primaryBuf: pbuf,
+		historyBuf: hbuf,
+	}
 }
 
 // secTID names a version for secondary indexes: an RID plus which store it

@@ -34,6 +34,15 @@ func NewKeyed(buf *buffer.Buffered, width int, key am.Key) *File {
 	return &File{buf: buf, width: width, key: key, keyed: true}
 }
 
+// WithBuffer returns a view of the same heap reading through buf (a handle
+// on the same pool, typically carrying a session account). The heap itself
+// is stateless beyond its buffer, so the view shares all pages.
+func (f *File) WithBuffer(buf *buffer.Buffered) *File {
+	g := *f
+	g.buf = buf
+	return &g
+}
+
 // Buffer exposes the underlying buffered file (for statistics).
 func (f *File) Buffer() *buffer.Buffered { return f.buf }
 

@@ -83,6 +83,22 @@ func New(cfg Config, curBuf, histBuf *buffer.Buffered) (*Index, error) {
 	return ix, nil
 }
 
+// WithAccount returns a read view of the same index whose page I/O is
+// charged to a. The hash directory maps are shared by pointer — they are
+// mutated only under the database's exclusive writer lock.
+func (ix *Index) WithAccount(a *buffer.Account) *Index {
+	v := &Index{cfg: ix.cfg}
+	v.cur = ix.cur.withAccount(a)
+	if ix.hist != nil {
+		v.hist = ix.hist.withAccount(a)
+	}
+	return v
+}
+
+func (f *entryFile) withAccount(a *buffer.Account) *entryFile {
+	return &entryFile{buf: f.buf.WithAccount(a), structure: f.structure, dir: f.dir}
+}
+
 // Config returns the index description.
 func (ix *Index) Config() Config { return ix.cfg }
 

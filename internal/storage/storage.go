@@ -10,6 +10,7 @@ package storage
 import (
 	"fmt"
 	"os"
+	"sync"
 
 	"tdbms/internal/page"
 )
@@ -38,7 +39,10 @@ func checkBounds(id page.ID, n int) error {
 }
 
 // Mem is an in-memory File. The zero value is an empty file ready to use.
+// Page accesses are latched so concurrent readers sharing the file (via
+// separate buffer handles) never observe a torn page or a resizing slice.
 type Mem struct {
+	mu    sync.RWMutex
 	pages []page.Page
 }
 
@@ -47,6 +51,8 @@ func NewMem() *Mem { return &Mem{} }
 
 // ReadPage implements File.
 func (m *Mem) ReadPage(id page.ID, p *page.Page) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if err := checkBounds(id, len(m.pages)); err != nil {
 		return err
 	}
@@ -56,6 +62,8 @@ func (m *Mem) ReadPage(id page.ID, p *page.Page) error {
 
 // WritePage implements File.
 func (m *Mem) WritePage(id page.ID, p *page.Page) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if err := checkBounds(id, len(m.pages)); err != nil {
 		return err
 	}
@@ -65,15 +73,23 @@ func (m *Mem) WritePage(id page.ID, p *page.Page) error {
 
 // Allocate implements File.
 func (m *Mem) Allocate() (page.ID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.pages = append(m.pages, page.Page{})
 	return page.ID(len(m.pages) - 1), nil
 }
 
 // NumPages implements File.
-func (m *Mem) NumPages() int { return len(m.pages) }
+func (m *Mem) NumPages() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.pages)
+}
 
 // Truncate implements File.
 func (m *Mem) Truncate() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.pages = m.pages[:0]
 	return nil
 }
@@ -81,10 +97,13 @@ func (m *Mem) Truncate() error {
 // Close implements File.
 func (m *Mem) Close() error { return nil }
 
-// Disk is a File backed by an operating-system file.
+// Disk is a File backed by an operating-system file. The page data itself
+// is accessed with positioned reads/writes, which the OS serializes; the
+// latch guards the page count against concurrent Allocate/Truncate.
 type Disk struct {
-	f *os.File
-	n int
+	mu sync.RWMutex
+	f  *os.File
+	n  int
 }
 
 // OpenDisk opens (creating if necessary) a disk-backed paged file.
@@ -107,6 +126,8 @@ func OpenDisk(path string) (*Disk, error) {
 
 // ReadPage implements File.
 func (d *Disk) ReadPage(id page.ID, p *page.Page) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if err := checkBounds(id, d.n); err != nil {
 		return err
 	}
@@ -116,6 +137,8 @@ func (d *Disk) ReadPage(id page.ID, p *page.Page) error {
 
 // WritePage implements File.
 func (d *Disk) WritePage(id page.ID, p *page.Page) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if err := checkBounds(id, d.n); err != nil {
 		return err
 	}
@@ -125,6 +148,8 @@ func (d *Disk) WritePage(id page.ID, p *page.Page) error {
 
 // Allocate implements File.
 func (d *Disk) Allocate() (page.ID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	var zero page.Page
 	if _, err := d.f.WriteAt(zero[:], int64(d.n)*page.Size); err != nil {
 		return page.Nil, err
@@ -134,10 +159,16 @@ func (d *Disk) Allocate() (page.ID, error) {
 }
 
 // NumPages implements File.
-func (d *Disk) NumPages() int { return d.n }
+func (d *Disk) NumPages() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.n
+}
 
 // Truncate implements File.
 func (d *Disk) Truncate() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if err := d.f.Truncate(0); err != nil {
 		return err
 	}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -225,25 +226,29 @@ func maxTime(a, b Time) Time {
 // Clock is the logical clock supplying "now" for DML timestamps and query
 // defaults. The benchmark advances it explicitly between update rounds so
 // that runs are deterministic (a substitution for the wall clock of the
-// original prototype; see DESIGN.md).
+// original prototype; see DESIGN.md). The value is atomic so sessions can
+// read it while another session sets or advances it.
 type Clock struct {
-	now Time
+	now atomic.Int64
 }
 
 // NewClock starts a clock at t.
-func NewClock(t Time) *Clock { return &Clock{now: t} }
+func NewClock(t Time) *Clock {
+	c := &Clock{}
+	c.now.Store(int64(t))
+	return c
+}
 
 // Now returns the current logical time.
-func (c *Clock) Now() Time { return c.now }
+func (c *Clock) Now() Time { return Time(c.now.Load()) }
 
 // Set moves the clock to t (backwards moves are allowed for tests).
-func (c *Clock) Set(t Time) { c.now = t }
+func (c *Clock) Set(t Time) { c.now.Store(int64(t)) }
 
 // Advance moves the clock forward by d seconds.
-func (c *Clock) Advance(d int64) { c.now += Time(d) }
+func (c *Clock) Advance(d int64) { c.now.Add(d) }
 
 // Tick advances the clock by one second and returns the new time.
 func (c *Clock) Tick() Time {
-	c.now++
-	return c.now
+	return Time(c.now.Add(1))
 }

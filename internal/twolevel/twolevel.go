@@ -95,6 +95,34 @@ func New(primary am.File, history *buffer.Buffered, cfg Config) (*Store, error) 
 	return s, nil
 }
 
+// View returns a read view of the same store: the given primary file view
+// and a history handle on the same pool (typically both carrying a session
+// account). The version-chain map is shared by pointer — it is mutated only
+// under the database's exclusive writer lock.
+func (s *Store) View(primary am.File, history *buffer.Buffered) *Store {
+	v := &Store{
+		primary: primary,
+		key:     s.key,
+		width:   s.width,
+		mode:    s.mode,
+		chains:  s.chains,
+	}
+	if s.mode == Simple {
+		v.histHeap = s.histHeap.WithBuffer(history)
+	} else {
+		v.histHash = hashfile.New(history, s.histHash.Meta())
+	}
+	return v
+}
+
+// HistoryBuffer exposes the history store's buffer handle.
+func (s *Store) HistoryBuffer() *buffer.Buffered {
+	if s.mode == Simple {
+		return s.histHeap.Buffer()
+	}
+	return s.histHash.Buffer()
+}
+
 // Mode returns the history layout.
 func (s *Store) Mode() Mode { return s.mode }
 

@@ -1,0 +1,166 @@
+package tdbms
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// BenchmarkConcurrentSessions measures the session layer's scaling shape:
+// the same fixed query mix driven by 1, 4, and 16 sessions against one
+// shared database. Wall-clock time is reported by the benchmark framework
+// as usual but is machine-dependent; the deterministic work per operation
+// — page fetches, page writes, and rows, all counted by the session
+// accounts — is recorded to BENCH_session.json so runs can be diffed
+// exactly. This lives outside internal/bench on purpose: the figure
+// pipelines there are single-session by construction and stay byte-stable.
+
+type sessionBenchMetrics struct {
+	// PageFetches counts buffer fetches (reads + hits) per operation. The
+	// read/hit split depends on goroutine interleaving; the sum does not.
+	PageFetches int64 `json:"page_fetches_per_op"`
+	PagesOut    int64 `json:"pages_out_per_op"`
+	Rows        int64 `json:"rows_per_op"`
+}
+
+var (
+	sessionBenchMu      sync.Mutex
+	sessionBenchResults = map[string]sessionBenchMetrics{}
+)
+
+// TestMain persists the deterministic per-operation work of every
+// benchmark that ran. Plain `go test` leaves no artifact behind.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 && len(sessionBenchResults) > 0 {
+		names := make([]string, 0, len(sessionBenchResults))
+		for n := range sessionBenchResults {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		out := make(map[string]sessionBenchMetrics, len(names))
+		for _, n := range names {
+			out[n] = sessionBenchResults[n]
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err == nil {
+			err = os.WriteFile("BENCH_session.json", append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench: writing BENCH_session.json:", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// buildConcurrencyBenchDB loads a hashed temporal relation of 512 tuples
+// with one update round of history — enough that probes, scans, and the
+// temporal filter all do real page work.
+func buildConcurrencyBenchDB(b *testing.B) *DB {
+	b.Helper()
+	db := MustOpen(Options{Now: time.Date(1980, 3, 1, 0, 0, 0, 0, time.UTC)})
+	if _, err := db.Exec(`create persistent interval acct (id = i4, amount = i4, seq = i4)`); err != nil {
+		b.Fatal(err)
+	}
+	rows := make([][]any, 512)
+	for i := range rows {
+		rows[i] = []any{i, i * 100, 0}
+	}
+	if _, err := db.Load("acct", rows); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Exec(`modify acct to hash on id where fillfactor = 100
+		range of a is acct`); err != nil {
+		b.Fatal(err)
+	}
+	db.AdvanceClock(time.Hour)
+	if _, err := db.Exec(`replace a (seq = a.seq + 1)`); err != nil {
+		b.Fatal(err)
+	}
+	db.AdvanceClock(time.Hour)
+	return db
+}
+
+// sessionBenchQueries is the fixed per-operation query mix: a hashed key
+// probe, a current-version scan, and an all-version key scan.
+var sessionBenchQueries = []string{
+	`retrieve (a.id, a.seq) where a.id = 100`,
+	`retrieve (a.id) where a.amount = 11100 when a overlap "now"`,
+	`retrieve (a.id, a.seq) where a.id = 37`,
+}
+
+func BenchmarkConcurrentSessions(b *testing.B) {
+	for _, n := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("sessions-%d", n), func(b *testing.B) {
+			db := buildConcurrencyBenchDB(b)
+			sessions := make([]*Session, n)
+			for i := range sessions {
+				sessions[i] = db.Session(fmt.Sprintf("bench-%d", i))
+				if _, err := sessions[i].Exec(`range of a is acct`); err != nil {
+					b.Fatal(err)
+				}
+			}
+			rows := make([]int64, n)
+			errs := make([]error, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for si, s := range sessions {
+					wg.Add(1)
+					go func(si int, s *Session) {
+						defer wg.Done()
+						for _, q := range sessionBenchQueries {
+							res, err := s.Exec(q)
+							if err != nil {
+								errs[si] = err
+								return
+							}
+							rows[si] += int64(len(res.Rows))
+						}
+					}(si, s)
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			for si, err := range errs {
+				if err != nil {
+					b.Fatalf("session %d: %v", si, err)
+				}
+			}
+
+			// Per-operation work, from the session accounts. Every session
+			// ran the identical mix b.N times, so the totals divide evenly;
+			// a remainder would mean the accounting leaked.
+			var fetches, out, totalRows int64
+			for si, s := range sessions {
+				st := s.Stats()
+				fetches += st.Reads + st.Hits
+				out += st.Writes
+				totalRows += rows[si]
+				if rows[si]*int64(n) != rows[0]*int64(n) || rows[si] != rows[0] {
+					b.Fatalf("session %d saw %d rows, session 0 saw %d", si, rows[si], rows[0])
+				}
+			}
+			ops := int64(b.N) * int64(n)
+			if fetches%ops != 0 || totalRows%ops != 0 {
+				b.Fatalf("per-session work not uniform: %d fetches, %d rows over %d ops",
+					fetches, totalRows, ops)
+			}
+			m := sessionBenchMetrics{
+				PageFetches: fetches / ops,
+				PagesOut:    out / ops,
+				Rows:        totalRows / ops,
+			}
+			b.ReportMetric(float64(m.PageFetches), "pageFetches/op")
+			b.ReportMetric(float64(m.Rows), "rows/op")
+			sessionBenchMu.Lock()
+			sessionBenchResults[fmt.Sprintf("ConcurrentSessions/%d", n)] = m
+			sessionBenchMu.Unlock()
+		})
+	}
+}

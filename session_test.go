@@ -1,0 +1,160 @@
+package tdbms_test
+
+import (
+	"testing"
+	"time"
+
+	"tdbms"
+)
+
+func buildSessionTestDB(t *testing.T) *tdbms.DB {
+	t.Helper()
+	db := tdbms.MustOpen(tdbms.Options{Now: time.Date(1980, 3, 1, 0, 0, 0, 0, time.UTC)})
+	stmts := `create persistent interval emp (name = c20, salary = i4)
+		create persistent interval dept (name = c20, size = i4)
+		append to emp (name = "ann", salary = 100)
+		append to emp (name = "bob", salary = 200)
+		append to dept (name = "toys", size = 7)`
+	if _, err := db.Exec(stmts); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	return db
+}
+
+// TestSessionPrivateRanges binds the same variable name to different
+// relations in two sessions and checks the bindings do not leak — the core
+// isolation property the session layer adds.
+func TestSessionPrivateRanges(t *testing.T) {
+	db := buildSessionTestDB(t)
+	defer db.Close()
+
+	s1 := db.Session("one")
+	s2 := db.Session("two")
+
+	if _, err := s1.Exec(`range of r is emp`); err != nil {
+		t.Fatalf("s1 range: %v", err)
+	}
+	if _, err := s2.Exec(`range of r is dept`); err != nil {
+		t.Fatalf("s2 range: %v", err)
+	}
+
+	r1, err := s1.Exec(`retrieve (r.name, r.salary) when r overlap "now"`)
+	if err != nil {
+		t.Fatalf("s1 retrieve: %v", err)
+	}
+	r2, err := s2.Exec(`retrieve (r.name, r.size) when r overlap "now"`)
+	if err != nil {
+		t.Fatalf("s2 retrieve: %v", err)
+	}
+	if len(r1.Rows) != 2 || len(r2.Rows) != 1 {
+		t.Fatalf("got %d emp rows and %d dept rows, want 2 and 1", len(r1.Rows), len(r2.Rows))
+	}
+
+	// The default session (DB.Exec) has its own table too: `r` was never
+	// declared there.
+	if _, err := db.Exec(`retrieve (r.name)`); err == nil {
+		t.Fatalf("default session saw a session-private range variable")
+	}
+}
+
+// TestSessionAsOfOverride gives one session a private "now" in the past;
+// the other session and the shared clock are unaffected.
+func TestSessionAsOfOverride(t *testing.T) {
+	db := buildSessionTestDB(t)
+	defer db.Close()
+
+	past := db.Now()
+	db.AdvanceClock(2 * time.Hour)
+	if _, err := db.Exec(`append to emp (name = "cyd", salary = 300)`); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	db.AdvanceClock(2 * time.Hour)
+
+	s1 := db.Session("historian")
+	s2 := db.Session("current")
+	for _, s := range []*tdbms.Session{s1, s2} {
+		if _, err := s.Exec(`range of e is emp`); err != nil {
+			t.Fatalf("range: %v", err)
+		}
+	}
+
+	s1.SetNow(past)
+	r1, err := s1.Exec(`retrieve (e.name) when e overlap "now"`)
+	if err != nil {
+		t.Fatalf("s1 retrieve: %v", err)
+	}
+	r2, err := s2.Exec(`retrieve (e.name) when e overlap "now"`)
+	if err != nil {
+		t.Fatalf("s2 retrieve: %v", err)
+	}
+	if len(r1.Rows) != 2 {
+		t.Fatalf("as-of session saw %d rows, want the 2 original", len(r1.Rows))
+	}
+	if len(r2.Rows) != 3 {
+		t.Fatalf("current session saw %d rows, want 3", len(r2.Rows))
+	}
+
+	if got := s1.Now(); !got.Equal(past) {
+		t.Fatalf("s1.Now() = %v, want %v", got, past)
+	}
+	s1.ClearNow()
+	if got, want := s1.Now(), s2.Now(); !got.Equal(want) {
+		t.Fatalf("after ClearNow, s1.Now() = %v, want the shared clock %v", got, want)
+	}
+}
+
+// TestSessionStats checks per-session accounting through the public API: a
+// session's counters move when it reads, stay put when a different session
+// reads, and reset independently.
+func TestSessionStats(t *testing.T) {
+	db := buildSessionTestDB(t)
+	defer db.Close()
+
+	s1 := db.Session("worker")
+	s2 := db.Session("idle")
+	if _, err := s1.Exec(`range of e is emp`); err != nil {
+		t.Fatalf("range: %v", err)
+	}
+
+	if _, err := s1.Exec(`retrieve (e.name) when e overlap "now"`); err != nil {
+		t.Fatalf("retrieve: %v", err)
+	}
+	st1, st2 := s1.Stats(), s2.Stats()
+	if st1.Reads+st1.Hits == 0 {
+		t.Fatalf("working session recorded no fetches: %+v", st1)
+	}
+	if st2 != (tdbms.IOStats{}) {
+		t.Fatalf("idle session recorded I/O: %+v", st2)
+	}
+
+	s1.ResetStats()
+	if got := s1.Stats(); got != (tdbms.IOStats{}) {
+		t.Fatalf("after ResetStats: %+v", got)
+	}
+	if s1.Name() != "worker" || s2.Name() != "idle" {
+		t.Fatalf("session names: %q, %q", s1.Name(), s2.Name())
+	}
+}
+
+// TestSessionExplain checks Explain runs through a session and renders the
+// plan with the session's bindings.
+func TestSessionExplain(t *testing.T) {
+	db := buildSessionTestDB(t)
+	defer db.Close()
+
+	s := db.Session("")
+	if _, err := s.Exec(`range of e is emp`); err != nil {
+		t.Fatalf("range: %v", err)
+	}
+	out, err := s.Explain(`retrieve (e.name) when e overlap "now"`)
+	if err != nil {
+		t.Fatalf("explain: %v", err)
+	}
+	if out == "" {
+		t.Fatalf("empty explain output")
+	}
+	// The default session does not share the binding.
+	if _, err := db.Explain(`retrieve (e.name)`); err == nil {
+		t.Fatalf("default-session explain resolved a private range variable")
+	}
+}
