@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	tdbbench [-figure all|5|6|7|8|9|10|5.4] [-maxuc N] [-maxavg N] [-q]
+//	tdbbench [-figure all|5|6|7|8|9|10|5.4] [-maxuc N] [-maxavg N] [-workers N] [-q]
+//
+// The eight databases behind Figures 5-9 are built and measured
+// concurrently by a bounded worker pool; -workers (or the
+// TDBBENCH_WORKERS environment variable) overrides the default of one
+// worker per CPU. The output is byte-identical at any worker count.
 package main
 
 import (
@@ -13,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"tdbms/internal/bench"
@@ -22,16 +28,29 @@ func main() {
 	figure := flag.String("figure", "all", "which figure to regenerate: all, 5, 6, 7, 8, 9, 10, 5.4, or ablations")
 	maxUC := flag.Int("maxuc", 15, "maximum update count for Figures 5-9")
 	maxAvg := flag.Int("maxavg", 4, "maximum average update count for the Section 5.4 experiment")
+	workers := flag.Int("workers", 0, "benchmark databases to build and measure concurrently (0 = one per CPU; also TDBBENCH_WORKERS)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
-	if err := run(os.Stdout, *figure, *maxUC, *maxAvg, *quiet); err != nil {
+	w := *workers
+	if w == 0 {
+		if env := os.Getenv("TDBBENCH_WORKERS"); env != "" {
+			n, err := strconv.Atoi(env)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tdbbench: TDBBENCH_WORKERS=%q is not a number\n", env)
+				os.Exit(1)
+			}
+			w = n
+		}
+	}
+
+	if err := run(os.Stdout, *figure, *maxUC, *maxAvg, w, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "tdbbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, figure string, maxUC, maxAvg int, quiet bool) error {
+func run(out io.Writer, figure string, maxUC, maxAvg, workers int, quiet bool) error {
 	note := func(format string, args ...any) {
 		if !quiet {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -48,7 +67,7 @@ func run(out io.Writer, figure string, maxUC, maxAvg int, quiet bool) error {
 	if needSeries {
 		note("building and evolving the eight benchmark databases (update counts 0..%d)...", maxUC)
 		var err error
-		series, err = bench.AllSeries(maxUC, func(k bench.Key, uc int) {
+		series, err = bench.AllSeriesWorkers(maxUC, workers, func(k bench.Key, uc int) {
 			if uc == maxUC {
 				note("  %s/%d%%: done", k.T, k.L)
 			}
@@ -117,6 +136,17 @@ func run(out io.Writer, figure string, maxUC, maxAvg int, quiet bool) error {
 			return err
 		}
 		fmt.Fprintln(out, bf.Format())
+		pa, err := bench.RunPoolAblation(min(uc, 4), 64, 8, func(pooled bool) {
+			if pooled {
+				note("  pool policy: 64 frames, 8-page readahead")
+			} else {
+				note("  pool policy: single frame")
+			}
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, pa.Format())
 	}
 	return nil
 }

@@ -6,6 +6,11 @@
 //	             mutated only by internal/buffer
 //	determinism  no wall clock, global rand, or map-ordered iteration in
 //	             internal/bench figure paths
+//	sessionstate core.Database keeps no per-caller statement state, and
+//	             internal/session stays below the planner and raw storage
+//	bufpolicy    buffer.Policy constructed only behind the sanctioned
+//	             configuration surfaces (internal/buffer, internal/session,
+//	             internal/core), so measurement mode cannot drift silently
 //	errcheck     no silently discarded errors under internal/
 //	copylocks    no by-value copies of sync primitives or counter-bearing
 //	             buffer/storage types

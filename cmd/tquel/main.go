@@ -21,6 +21,14 @@
 //	                      default session this moves the shared clock, in a
 //	                      named session it sets a private as-of override
 //	\advance <seconds>    advance the session's "now" likewise
+//	\set                  show the session's buffer policy (frames/readahead)
+//	\set buffer <frames> [<readahead>]
+//	                      override the session's buffer policy: queries run
+//	                      with an LRU pool of <frames> frames per relation
+//	                      and optional sequential-scan readahead
+//	\set buffer default   drop the override, back to the database default
+//	                      (one frame, no readahead: the paper's measurement
+//	                      policy from Section 5.1)
 //	\cold                 invalidate buffers (next query runs cold)
 //	\q                    quit
 //
@@ -81,6 +89,40 @@ func (sh *shell) setNow(t temporal.Time) {
 		return
 	}
 	sh.cur.SetNow(t)
+}
+
+// set implements \set: with no argument it reports the current session's
+// effective buffer policy; "buffer <frames> [<readahead>]" installs a
+// session override and "buffer default" drops it. The policy itself is
+// only ever constructed behind Conn — never here (tdbvet: bufpolicy).
+func (sh *shell) set(arg string) error {
+	fields := strings.Fields(arg)
+	usage := fmt.Errorf(`usage: \set | \set buffer <frames> [<readahead>] | \set buffer default`)
+	switch {
+	case len(fields) == 0:
+		// fall through to the report below
+	case fields[0] != "buffer":
+		return usage
+	case len(fields) == 2 && fields[1] == "default":
+		sh.cur.ClearBufferPolicy()
+	case len(fields) == 2 || len(fields) == 3:
+		frames, err := strconv.Atoi(fields[1])
+		if err != nil || frames < 1 {
+			return fmt.Errorf("frames must be a positive integer")
+		}
+		ahead := 0
+		if len(fields) == 3 {
+			if ahead, err = strconv.Atoi(fields[2]); err != nil || ahead < 0 {
+				return fmt.Errorf("readahead must be a non-negative integer")
+			}
+		}
+		sh.cur.SetBufferPolicy(frames, ahead)
+	default:
+		return usage
+	}
+	pol := sh.cur.BufferPolicy()
+	fmt.Printf("buffer: %d frame(s), readahead %d\n", pol.Frames, pol.Readahead)
+	return nil
 }
 
 func main() {
@@ -178,6 +220,10 @@ func main() {
 			sh.use(arg)
 			fmt.Printf("session: %s (now: %s)\n", sh.curName,
 				temporal.Format(sh.now(), temporal.Second))
+		case strings.HasPrefix(trimmed, `\set`):
+			if err := sh.set(strings.TrimSpace(strings.TrimPrefix(trimmed, `\set`))); err != nil {
+				fmt.Println("error:", err)
+			}
 		case trimmed == `\cold`:
 			if err := db.InvalidateBuffers(); err != nil {
 				fmt.Println("error:", err)

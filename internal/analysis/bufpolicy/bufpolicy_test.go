@@ -1,0 +1,16 @@
+package bufpolicy_test
+
+import (
+	"testing"
+
+	"tdbms/internal/analysis/analysistest"
+	"tdbms/internal/analysis/bufpolicy"
+)
+
+func TestPolicyViolating(t *testing.T) {
+	analysistest.Run(t, bufpolicy.Analyzer, "testdata/policy_violating.go")
+}
+
+func TestPolicyClean(t *testing.T) {
+	analysistest.Run(t, bufpolicy.Analyzer, "testdata/policy_clean.go")
+}

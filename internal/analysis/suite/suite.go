@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"tdbms/internal/analysis"
+	"tdbms/internal/analysis/bufpolicy"
 	"tdbms/internal/analysis/copylocks"
 	"tdbms/internal/analysis/determinism"
 	"tdbms/internal/analysis/errcheck"
@@ -35,6 +36,9 @@ func underInternal(modPath, pkgPath string) bool {
 //   - sessionstate guards the session split: core.Database keeps no
 //     per-caller statement state, and internal/session imports neither
 //     the planner nor raw storage;
+//   - bufpolicy guards measurement mode: buffer.Policy is constructed only
+//     behind the sanctioned configuration surfaces (internal/buffer,
+//     internal/session, internal/core), module-wide;
 //   - errcheck guards all of internal/;
 //   - copylocks guards the whole module, examples and commands included.
 var Checks = []Scoped{
@@ -42,6 +46,7 @@ var Checks = []Scoped{
 	{sessionstate.Analyzer, func(modPath, pkgPath string) bool {
 		return pkgPath == modPath+"/internal/core" || pkgPath == modPath+"/internal/session"
 	}},
+	{bufpolicy.Analyzer, func(modPath, pkgPath string) bool { return true }},
 	{determinism.Analyzer, func(modPath, pkgPath string) bool {
 		return pkgPath == modPath+"/internal/bench"
 	}},

@@ -2,8 +2,10 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Key identifies one of the eight benchmark databases.
@@ -23,20 +25,64 @@ func AllKeys() []Key {
 	return out
 }
 
-// AllSeries measures all eight benchmark databases through maxUC.
+// DefaultWorkers is the worker count AllSeries uses: one per available
+// CPU, capped by the number of benchmark databases.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// AllSeries measures all eight benchmark databases through maxUC, using
+// the default worker count. The result is identical to a sequential run:
+// each database is built and measured in its own isolated engine, so the
+// page counters cannot observe each other.
 func AllSeries(maxUC int, progress func(k Key, uc int)) (map[Key]*Series, error) {
-	out := map[Key]*Series{}
-	for _, k := range AllKeys() {
-		k := k
-		s, err := Run(k.T, k.L, maxUC, func(uc int) {
-			if progress != nil {
-				progress(k, uc)
+	return AllSeriesWorkers(maxUC, 0, progress)
+}
+
+// AllSeriesWorkers is AllSeries with an explicit worker count (<1 means
+// DefaultWorkers). Databases are dealt to the pool in the paper's column
+// order and merged back in that order, progress callbacks are serialized,
+// and on failure the error of the earliest database in column order wins —
+// so every observable output is independent of scheduling.
+func AllSeriesWorkers(maxUC, workers int, progress func(k Key, uc int)) (map[Key]*Series, error) {
+	keys := AllKeys()
+	if workers < 1 {
+		workers = DefaultWorkers()
+	}
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	series := make([]*Series, len(keys))
+	errs := make([]error, len(keys))
+	var progressMu sync.Mutex
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				k := keys[i]
+				series[i], errs[i] = Run(k.T, k.L, maxUC, func(uc int) {
+					if progress == nil {
+						return
+					}
+					progressMu.Lock()
+					defer progressMu.Unlock()
+					progress(k, uc)
+				})
 			}
-		})
-		if err != nil {
-			return nil, fmt.Errorf("bench: %s/%d%%: %w", k.T, k.L, err)
+		}()
+	}
+	for i := range keys {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	out := make(map[Key]*Series, len(keys))
+	for i, k := range keys {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("bench: %s/%d%%: %w", k.T, k.L, errs[i])
 		}
-		out[k] = s
+		out[k] = series[i]
 	}
 	return out, nil
 }

@@ -20,15 +20,22 @@ const (
 	goldenF10UC = 4
 )
 
-// renderGoldenFigures produces the Figure 5-10 tables from a fast-mode run.
-// The page counts in these tables are the paper's metric; the golden file
-// pins them byte-for-byte so a storage or executor change that shifts a
-// single page access fails this test.
+// renderGoldenFigures produces the Figure 5-10 tables from a fast-mode run
+// at the default worker count. The page counts in these tables are the
+// paper's metric; the golden file pins them byte-for-byte so a storage or
+// executor change that shifts a single page access fails this test.
 func renderGoldenFigures(t *testing.T) string {
+	return renderFiguresAt(t, 0)
+}
+
+// renderFiguresAt is renderGoldenFigures at an explicit worker count
+// (0 = default) — the determinism test renders at several counts and
+// requires identical bytes.
+func renderFiguresAt(t *testing.T, workers int) string {
 	t.Helper()
-	series, err := AllSeries(goldenUC, nil)
+	series, err := AllSeriesWorkers(goldenUC, workers, nil)
 	if err != nil {
-		t.Fatalf("AllSeries(%d): %v", goldenUC, err)
+		t.Fatalf("AllSeriesWorkers(%d, %d): %v", goldenUC, workers, err)
 	}
 	f10, err := RunFigure10(goldenF10UC, nil)
 	if err != nil {

@@ -10,6 +10,7 @@ import (
 // Measurement is one query execution's observed cost.
 type Measurement struct {
 	Input   int64 // page reads, including temporaries (the paper's metric)
+	Ops     int64 // read operations; equals Input unless readahead batches
 	Output  int64 // page writes (temporary + result relations)
 	TempIn  int64 // reads against temporaries (part of the fixed cost)
 	Rows    int   // result tuples
@@ -59,6 +60,7 @@ func MeasureQuery(b *DB, text string) (Measurement, error) {
 	}
 	return Measurement{
 		Input:   res.Input,
+		Ops:     res.InputOps,
 		Output:  res.Output,
 		TempIn:  res.TempInput,
 		Rows:    len(res.Rows),
@@ -84,18 +86,18 @@ func Run(t DBType, loading, maxUC int, progress func(uc int)) (*Series, error) {
 	for uc := 0; uc <= maxUC; uc++ {
 		if uc > 0 {
 			if err := b.Update(); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("uc %d: update: %w", uc, err)
 			}
 		}
 		h, i, err := b.Pages()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("uc %d: sizes: %w", uc, err)
 		}
 		s.SizeH = append(s.SizeH, h)
 		s.SizeI = append(s.SizeI, i)
 		ms, err := MeasureAll(b)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("uc %d: %w", uc, err)
 		}
 		for _, id := range QueryIDs {
 			s.Cost[id] = append(s.Cost[id], ms[id])

@@ -1,0 +1,35 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestParallelDeterminism renders the full figure set sequentially and at
+// the default worker count and requires identical bytes — and that both
+// match the committed golden. Run under -race in CI, this is the proof
+// that the parallel harness cannot perturb a single page counter.
+func TestParallelDeterminism(t *testing.T) {
+	seq := renderFiguresAt(t, 1)
+	par := renderFiguresAt(t, DefaultWorkers())
+	if seq != par {
+		line := 1
+		for i := 0; i < len(seq) && i < len(par); i++ {
+			if seq[i] != par[i] {
+				break
+			}
+			if seq[i] == '\n' {
+				line++
+			}
+		}
+		t.Fatalf("parallel figures diverge from sequential at line %d", line)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "figures_fast.golden"))
+	if err != nil {
+		t.Fatalf("missing golden fixture: %v", err)
+	}
+	if seq != string(want) {
+		t.Fatalf("figures diverge from the golden fixture (got %d bytes, want %d)", len(seq), len(want))
+	}
+}

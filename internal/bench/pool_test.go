@@ -1,0 +1,48 @@
+package bench
+
+import "testing"
+
+// TestPoolAblation pins the acceptance criterion of the pooled-buffer
+// ablation: under a multi-frame pool with readahead, the sequential-scan
+// queries issue strictly fewer page fetches (read operations) than under
+// the single-frame measurement policy, and no query reads more pages.
+func TestPoolAblation(t *testing.T) {
+	// 32 frames is the smallest probed pool where interleaved
+	// overflow-chain fetches never evict a prefetched primary page before
+	// its use (smaller pools waste prefetch and read MORE pages).
+	r, err := RunPoolAblation(2, 32, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range QueryIDs {
+		s, p := r.Single[id], r.Pooled[id]
+		if s.Applies != p.Applies {
+			t.Fatalf("%s: applicability differs between policies", id)
+		}
+		if !s.Applies {
+			continue
+		}
+		// The single-frame policy cannot batch: every read is one fetch.
+		if s.Ops != s.Input {
+			t.Errorf("%s: single-frame ops=%d != reads=%d", id, s.Ops, s.Input)
+		}
+		// Pooling never costs pages: caching can only remove reads.
+		if p.Input > s.Input {
+			t.Errorf("%s: pooled reads=%d > single-frame reads=%d", id, p.Input, s.Input)
+		}
+		if p.Rows != s.Rows {
+			t.Errorf("%s: pooled rows=%d != single-frame rows=%d", id, p.Rows, s.Rows)
+		}
+	}
+	// The sequential scans (Q07 scans the hashed relation, Q08 the ISAM
+	// relation) must show the readahead batching directly.
+	for _, id := range []string{"Q07", "Q08"} {
+		s, p := r.Single[id], r.Pooled[id]
+		if !s.Applies {
+			t.Fatalf("%s does not apply to the temporal database", id)
+		}
+		if p.Ops >= s.Ops {
+			t.Errorf("%s: pooled fetches=%d, want strictly fewer than single-frame %d", id, p.Ops, s.Ops)
+		}
+	}
+}

@@ -7,9 +7,12 @@
 // dirty eviction counts as one disk write. These counters are the benchmark
 // metric for Figures 5 through 10.
 //
-// The frame count is configurable (NewWithFrames) so the buffer-sensitivity
-// ablation can quantify what the paper's single-frame policy filtered out;
-// the benchmark itself always uses one frame.
+// The policy is configurable (NewWithPolicy, WithView): a pool may keep
+// several LRU frames, and sequential scans may prefetch a batch of pages
+// per miss (FetchAhead), so the buffer-sensitivity ablation can quantify
+// what the paper's single-frame policy filtered out. The default policy is
+// always Frames: 1, Readahead: 0 — the benchmark and every measured figure
+// run under it untouched.
 //
 // Concurrency model: the frames and the global counters live in a shared
 // pool guarded by a mutex, while a Buffered value is a cheap per-caller
@@ -37,16 +40,62 @@ type Stats struct {
 	Reads  int64 // page fetches that missed the frames
 	Writes int64 // dirty-frame evictions/flushes
 	Hits   int64 // page fetches satisfied by a frame
+	// ReadOps counts read operations issued to the backing file. A plain
+	// Fetch miss is one operation for one page, so under the single-frame
+	// measurement policy ReadOps always equals Reads; a FetchAhead batch
+	// reads several pages in one operation, so pooled scans show
+	// ReadOps < Reads.
+	ReadOps int64
 }
 
 // Add returns the component-wise sum of two Stats.
 func (s Stats) Add(t Stats) Stats {
-	return Stats{Reads: s.Reads + t.Reads, Writes: s.Writes + t.Writes, Hits: s.Hits + t.Hits}
+	return Stats{
+		Reads:   s.Reads + t.Reads,
+		Writes:  s.Writes + t.Writes,
+		Hits:    s.Hits + t.Hits,
+		ReadOps: s.ReadOps + t.ReadOps,
+	}
 }
 
 // Sub returns the component-wise difference s - t.
 func (s Stats) Sub(t Stats) Stats {
-	return Stats{Reads: s.Reads - t.Reads, Writes: s.Writes - t.Writes, Hits: s.Hits - t.Hits}
+	return Stats{
+		Reads:   s.Reads - t.Reads,
+		Writes:  s.Writes - t.Writes,
+		Hits:    s.Hits - t.Hits,
+		ReadOps: s.ReadOps - t.ReadOps,
+	}
+}
+
+// Policy configures a handle's demands on its pool: how many LRU frames
+// the pool must keep and how far FetchAhead may prefetch past a missed
+// page. The zero value normalizes to the paper's measurement policy.
+type Policy struct {
+	// Frames is the number of buffer frames. Values below 1 normalize to
+	// 1 — one frame per relation, the Section 5.1 measurement policy.
+	Frames int
+	// Readahead is the maximum number of pages FetchAhead may read past
+	// the requested one in a single batch. Zero disables prefetching; it
+	// is also capped at Frames-1 so a batch never evicts its own pages.
+	Readahead int
+}
+
+// DefaultPolicy is the measurement policy: one frame, no readahead.
+func DefaultPolicy() Policy { return Policy{Frames: 1} }
+
+// Normalize clamps the policy to its valid range.
+func (p Policy) Normalize() Policy {
+	if p.Frames < 1 {
+		p.Frames = 1
+	}
+	if p.Readahead < 0 {
+		p.Readahead = 0
+	}
+	if p.Readahead > p.Frames-1 {
+		p.Readahead = p.Frames - 1
+	}
+	return p
 }
 
 // Account accumulates the I/O charged to one session across every pool its
@@ -54,9 +103,10 @@ func (s Stats) Sub(t Stats) Stats {
 // on many relations and its Stats may be read while another of its pools is
 // mid-operation.
 type Account struct {
-	reads  atomic.Int64
-	writes atomic.Int64
-	hits   atomic.Int64
+	reads   atomic.Int64
+	writes  atomic.Int64
+	hits    atomic.Int64
+	readOps atomic.Int64
 }
 
 // NewAccount returns a zeroed account.
@@ -64,7 +114,12 @@ func NewAccount() *Account { return &Account{} }
 
 // Stats returns the account's counters.
 func (a *Account) Stats() Stats {
-	return Stats{Reads: a.reads.Load(), Writes: a.writes.Load(), Hits: a.hits.Load()}
+	return Stats{
+		Reads:   a.reads.Load(),
+		Writes:  a.writes.Load(),
+		Hits:    a.hits.Load(),
+		ReadOps: a.readOps.Load(),
+	}
 }
 
 // Reset zeroes the account.
@@ -72,6 +127,7 @@ func (a *Account) Reset() {
 	a.reads.Store(0)
 	a.writes.Store(0)
 	a.hits.Store(0)
+	a.readOps.Store(0)
 }
 
 // Charge adds a delta measured elsewhere (the exclusive-lock DML path
@@ -80,6 +136,7 @@ func (a *Account) Charge(d Stats) {
 	a.reads.Add(d.Reads)
 	a.writes.Add(d.Writes)
 	a.hits.Add(d.Hits)
+	a.readOps.Add(d.ReadOps)
 }
 
 // frame is one buffer slot.
@@ -127,15 +184,18 @@ type Buffered struct {
 
 // New wraps f in a single-frame buffer — the paper's measurement policy.
 func New(name string, f storage.File) *Buffered {
-	return NewWithFrames(name, f, 1)
+	return NewWithPolicy(name, f, DefaultPolicy())
 }
 
-// NewWithFrames wraps f in an n-frame LRU buffer.
+// NewWithFrames wraps f in an n-frame LRU buffer with no readahead.
 func NewWithFrames(name string, f storage.File, n int) *Buffered {
-	if n < 1 {
-		n = 1
-	}
-	p := &pool{name: name, file: f, frames: make([]frame, n)}
+	return NewWithPolicy(name, f, Policy{Frames: n})
+}
+
+// NewWithPolicy wraps f in a buffer sized to pol.
+func NewWithPolicy(name string, f storage.File, pol Policy) *Buffered {
+	pol = pol.Normalize()
+	p := &pool{name: name, file: f, frames: make([]frame, pol.Frames)}
 	for i := range p.frames {
 		p.frames[i].id = page.Nil
 	}
@@ -147,6 +207,23 @@ func NewWithFrames(name string, f storage.File, n int) *Buffered {
 // read-graph handles this way.
 func (b *Buffered) WithAccount(a *Account) *Buffered {
 	return &Buffered{p: b.p, acct: a, v: &view{id: page.Nil}}
+}
+
+// WithView is WithAccount plus a frame demand: the shared pool grows to at
+// least pol.Frames frames before the handle is returned. Growth is
+// monotone and shared — once one session has widened a pool, later
+// handles see the wider pool — and it never shrinks, so a session that
+// keeps the default policy on a default-sized pool observes exactly the
+// single-frame counters the benchmark pins.
+func (b *Buffered) WithView(a *Account, pol Policy) *Buffered {
+	pol = pol.Normalize()
+	p := b.p
+	p.mu.Lock()
+	for len(p.frames) < pol.Frames {
+		p.frames = append(p.frames, frame{id: page.Nil})
+	}
+	p.mu.Unlock()
+	return &Buffered{p: p, acct: a, v: &view{id: page.Nil}}
 }
 
 // Account returns the account this handle charges, or nil for the root
@@ -242,13 +319,76 @@ func (b *Buffered) Fetch(id page.ID) (*page.Page, error) {
 		}
 		f.id = id
 		f.used = p.tick
-		b.charge(Stats{Reads: 1})
+		b.charge(Stats{Reads: 1, ReadOps: 1})
 	}
-	b.v.pg = f.pg
+	return b.adopt(f.pg, id), nil
+}
+
+// adopt installs a page image as the handle's stable scratch copy and
+// marks it pending. Caller holds p.mu.
+func (b *Buffered) adopt(pg page.Page, id page.ID) *page.Page {
+	b.v.pg = pg
 	b.v.id = id
 	b.v.dirty = false
-	p.pending = b.v
-	return &b.v.pg, nil
+	b.p.pending = b.v
+	return &b.v.pg
+}
+
+// FetchAhead is Fetch with sequential prefetch: on a miss it reads the
+// requested page plus up to ahead following pages in one storage
+// operation, installing each in its own frame. The set of pages read is
+// identical to what per-page fetches of the same run would read — the
+// batch is capped by the file size, by the pool's frame count, and by the
+// first already-resident page, so Reads/Writes/Hits counters move exactly
+// as they would for Fetch; only ReadOps is smaller (one per batch).
+// Pages deeper in the batch are installed as less recently used than the
+// requested page, so LRU consumes a run front-to-back. With ahead <= 0 or
+// a single-frame pool it degenerates to Fetch exactly.
+func (b *Buffered) FetchAhead(id page.ID, ahead int) (*page.Page, error) {
+	p := b.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.sync()
+	p.tick++
+	if f := p.lookup(id); f != nil {
+		b.charge(Stats{Hits: 1})
+		f.used = p.tick
+		return b.adopt(f.pg, id), nil
+	}
+	// Size the batch: the requested page plus in-range, non-resident
+	// successors. Stopping at the first resident page keeps every page of
+	// the run read exactly once and guarantees no two frames ever hold the
+	// same id.
+	if max := len(p.frames) - 1; ahead > max {
+		ahead = max
+	}
+	if last := page.ID(p.file.NumPages()) - 1; ahead > int(last-id) {
+		ahead = int(last - id)
+	}
+	n := 1
+	for n <= ahead && p.lookup(id+page.ID(n)) == nil {
+		n++
+	}
+	batch := make([]page.Page, n)
+	if err := p.file.ReadPages(id, batch); err != nil {
+		p.pending = nil
+		return nil, err
+	}
+	// Install back-to-front so the requested page ends most recently used
+	// and every eviction picks a pre-existing frame (the fresh ticks are
+	// always newer).
+	for j := n - 1; j >= 0; j-- {
+		f := p.victim()
+		if err := b.flushFrame(f); err != nil {
+			return nil, err
+		}
+		f.pg = batch[j]
+		f.id = id + page.ID(j)
+		f.used = p.tick
+		p.tick++
+	}
+	b.charge(Stats{Reads: int64(n), ReadOps: 1})
+	return b.adopt(batch[0], id), nil
 }
 
 // MarkDirty records that the most recently fetched page was modified; it

@@ -156,12 +156,12 @@ func TestResetStats(t *testing.T) {
 }
 
 func TestStatsArithmetic(t *testing.T) {
-	a := Stats{Reads: 5, Writes: 2, Hits: 1}
-	d := Stats{Reads: 3, Writes: 1, Hits: 1}
-	if got := a.Add(d); got != (Stats{Reads: 8, Writes: 3, Hits: 2}) {
+	a := Stats{Reads: 5, Writes: 2, Hits: 1, ReadOps: 4}
+	d := Stats{Reads: 3, Writes: 1, Hits: 1, ReadOps: 2}
+	if got := a.Add(d); got != (Stats{Reads: 8, Writes: 3, Hits: 2, ReadOps: 6}) {
 		t.Errorf("Add = %+v", got)
 	}
-	if got := a.Sub(d); got != (Stats{Reads: 2, Writes: 1, Hits: 0}) {
+	if got := a.Sub(d); got != (Stats{Reads: 2, Writes: 1, Hits: 0, ReadOps: 2}) {
 		t.Errorf("Sub = %+v", got)
 	}
 }

@@ -45,9 +45,11 @@ type Conn struct {
 	statsFn func() buffer.Stats
 
 	// graph is the cached session read graph, rebuilt lazily whenever a
-	// writer has bumped the database version since it was built.
+	// writer has bumped the database version since it was built or the
+	// session's buffer policy has changed.
 	graph        map[string]*relHandle
 	graphVersion uint64
+	graphPol     buffer.Policy
 }
 
 // Session exposes the connection's session state (for shells and tests).
@@ -167,6 +169,7 @@ func (c *Conn) run(read bool, fn func() (*Result, error)) (*Result, error) {
 	d := c.statsFn().Sub(before)
 	res.Input += d.Reads
 	res.Output += d.Writes
+	res.InputOps += d.ReadOps
 	if !read {
 		// Writers run on the root graph (account-free handles); the delta
 		// under the exclusive lock is exactly this statement's I/O.
@@ -175,22 +178,59 @@ func (c *Conn) run(read bool, fn func() (*Result, error)) (*Result, error) {
 	return res, nil
 }
 
+// bufferPolicy resolves the session's effective buffer policy: its own
+// override when set, the database default otherwise.
+func (c *Conn) bufferPolicy() buffer.Policy {
+	if pol, ok := c.sess.BufferPolicy(); ok {
+		return pol
+	}
+	return c.Database.bufferPolicy()
+}
+
+// SetBufferPolicy overrides this session's buffer policy for subsequent
+// reads: frames buffer frames per relation with up to readahead pages of
+// scan prefetch. Values are normalized (frames >= 1, readahead capped at
+// frames-1). The database default — and the benchmark — stay single-frame.
+func (c *Conn) SetBufferPolicy(frames, readahead int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sess.SetBufferPolicy(frames, readahead)
+	c.graph = nil
+}
+
+// ClearBufferPolicy removes the session's buffer-policy override.
+func (c *Conn) ClearBufferPolicy() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sess.ClearBufferPolicy()
+	c.graph = nil
+}
+
+// BufferPolicy returns the session's effective buffer policy.
+func (c *Conn) BufferPolicy() buffer.Policy {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bufferPolicy()
+}
+
 // refreshGraph rebuilds the session read graph if a writer has changed the
-// database since it was built. Clones share every page, frame, and
-// directory with the root handles; only the accounting differs. Caller
-// holds the database lock.
+// database since it was built or the session's buffer policy moved. Clones
+// share every page, frame, and directory with the root handles; only the
+// accounting and fetch policy differ. Caller holds the database lock.
 func (c *Conn) refreshGraph() {
 	db := c.Database
-	if c.graph != nil && c.graphVersion == db.version {
+	pol := c.bufferPolicy()
+	if c.graph != nil && c.graphVersion == db.version && c.graphPol == pol {
 		return
 	}
 	a := c.sess.Account()
 	g := make(map[string]*relHandle, len(db.rels))
 	for name, h := range db.rels {
-		g[name] = h.withAccount(a)
+		g[name] = h.withView(a, pol)
 	}
 	c.graph = g
 	c.graphVersion = db.version
+	c.graphPol = pol
 }
 
 // handle resolves a relation against the statement's active graph.

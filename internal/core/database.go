@@ -42,6 +42,10 @@ type Options struct {
 	// one gives the paper's measurement policy (Section 5.1); larger
 	// values are for the buffer-sensitivity ablation.
 	BufferFrames int
+	// BufferReadahead is the maximum number of pages a sequential scan may
+	// prefetch past its cursor in one batch. Zero — the measurement
+	// default — disables readahead; it is capped at BufferFrames-1.
+	BufferReadahead int
 }
 
 // Database is a temporal database: a catalog of typed relations, their open
@@ -77,13 +81,14 @@ type relHandle struct {
 	indexes map[string]*secindex.Index
 }
 
-// withAccount clones the handle for a session's read graph: the same
-// pages, frames, and directories, reached through buffer handles that
-// charge the session's account.
-func (h *relHandle) withAccount(a *buffer.Account) *relHandle {
+// withView clones the handle for a session's read graph: the same pages,
+// frames, and directories, reached through buffer handles that charge the
+// session's account and apply its buffer policy. Secondary indexes keep
+// the measurement policy — scans never run over them.
+func (h *relHandle) withView(a *buffer.Account, pol buffer.Policy) *relHandle {
 	v := &relHandle{
 		desc:    h.desc,
-		src:     h.src.withAccount(a),
+		src:     h.src.withView(a, pol),
 		indexes: make(map[string]*secindex.Index, len(h.indexes)),
 	}
 	for name, ix := range h.indexes {
@@ -143,18 +148,23 @@ func (db *Database) newFile(name string) (storage.File, error) {
 	return storage.OpenDisk(filepath.Join(db.opts.Dir, strings.ToLower(name)+".tdb"))
 }
 
-// newBuffer wraps a fresh file for name in a buffer with the configured
-// frame count (one, under the paper's policy).
+// bufferPolicy is the database-wide default buffer policy, derived from
+// Options. The zero Options give the paper's measurement policy.
+func (db *Database) bufferPolicy() buffer.Policy {
+	return buffer.Policy{
+		Frames:    db.opts.BufferFrames,
+		Readahead: db.opts.BufferReadahead,
+	}.Normalize()
+}
+
+// newBuffer wraps a fresh file for name in a buffer under the database's
+// default policy (one frame, no readahead, under the paper's policy).
 func (db *Database) newBuffer(name string) (*buffer.Buffered, error) {
 	f, err := db.newFile(name)
 	if err != nil {
 		return nil, err
 	}
-	n := db.opts.BufferFrames
-	if n < 1 {
-		n = 1
-	}
-	return buffer.NewWithFrames(name, f, n), nil
+	return buffer.NewWithPolicy(name, f, db.bufferPolicy()), nil
 }
 
 // handle returns the open handle for a relation name.

@@ -136,6 +136,10 @@ type lowering struct {
 	out   *emitter
 	att   *exec.Attribution
 	joins []joinConj
+	// ra is the scan-readahead budget from the session's buffer policy;
+	// zero (the measurement default, and always for DML lowering, which
+	// runs on the root graph) leaves scans fetching page by page.
+	ra int
 }
 
 // pipelineRoot strips the post-processing wrappers (dedupe, sort, insert)
@@ -204,7 +208,7 @@ func (l *lowering) lowerLeaf(n *plan.Node, fn func(rid page.RID, tup []byte) err
 		// scan applies no predicates. The prologue has already run, so
 		// the temporary's size is known for the rendered plan.
 		n.Pages = qv.temp.hf.Buffer().NumPages()
-		return &exec.Scan{Node: n, Att: l.att,
+		return &exec.Scan{Node: n, Att: l.att, Readahead: l.ra,
 			Start: func() (am.Iterator, error) { return qv.temp.hf.Scan(), nil },
 			Bind: func(rid page.RID, tup []byte) (bool, error) {
 				q.env.vars[v].tup = tup
@@ -260,7 +264,7 @@ func (l *lowering) lowerLeaf(n *plan.Node, fn func(rid page.RID, tup []byte) err
 			End: end,
 		}
 	default: // plan.OpSeqScan
-		return &exec.Scan{Node: n, Att: l.att,
+		return &exec.Scan{Node: n, Att: l.att, Readahead: l.ra,
 			Start: func() (am.Iterator, error) {
 				if qv.currentOnly {
 					return qv.h.src.ScanCurrent(), nil

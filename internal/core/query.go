@@ -241,7 +241,6 @@ func (db *Conn) analyze(s *tquel.RetrieveStmt) (*query, error) {
 			}
 			onKey := desc.KeyAttr != "" && strings.EqualFold(attr, desc.KeyAttr)
 			if onKey && op == "=" && qv.keyConst == nil {
-				val := val
 				qv.keyConst = &val
 				continue
 			}

@@ -19,6 +19,10 @@ type Result struct {
 	// Input is the number of page reads performed by the statement,
 	// including temporary relations ("input cost" in Figures 6-10).
 	Input int64
+	// InputOps is the number of read operations issued for those pages: a
+	// readahead batch of several pages counts once. Under the single-frame
+	// measurement policy InputOps always equals Input.
+	InputOps int64
 	// Output is the number of page writes, dominated by temporary
 	// relations ("output cost" in Section 5.2).
 	Output int64

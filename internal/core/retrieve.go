@@ -44,7 +44,8 @@ func (db *Conn) runRetrieve(s *tquel.RetrieveStmt) (*Result, *plan.Tree, error) 
 		}
 		return st
 	})
-	l := &lowering{db: db, q: q, out: out, att: att, joins: conjs}
+	l := &lowering{db: db, q: q, out: out, att: att, joins: conjs,
+		ra: db.bufferPolicy().Readahead}
 
 	// Decomposition prologue: detach restricted variables into
 	// temporaries before the root pipeline runs over them.
@@ -92,6 +93,7 @@ func (db *Conn) runRetrieve(s *tquel.RetrieveStmt) (*Result, *plan.Tree, error) 
 	for _, tmp := range q.temps {
 		st := tmp.hf.Buffer().Stats()
 		res.Input += st.Reads
+		res.InputOps += st.ReadOps
 		res.Output += st.Writes
 		res.TempInput += st.Reads
 		res.TempOutput += st.Writes

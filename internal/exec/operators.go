@@ -26,6 +26,11 @@ type Scan struct {
 	// End, if set, runs once when the scan exhausts (clearing the
 	// variable's binding, as the interpreter did at the end of a scan).
 	End func()
+	// Readahead, when positive, is passed to iterators implementing
+	// am.ReadaheadHinter so sequential scans prefetch page batches. The
+	// lowering layer sets it from the session's buffer policy; it stays
+	// zero under the single-frame measurement policy.
+	Readahead int
 
 	it am.Iterator
 }
@@ -37,6 +42,9 @@ func (s *Scan) Open() error {
 	it, err := s.Start()
 	if err != nil {
 		return err
+	}
+	if h, ok := it.(am.ReadaheadHinter); ok && s.Readahead > 0 {
+		h.SetReadahead(s.Readahead)
 	}
 	s.it = it
 	return nil

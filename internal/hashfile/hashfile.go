@@ -249,9 +249,15 @@ type scanIter struct {
 	primary int // next primary bucket to start
 	cur     page.ID
 	slot    int
+	ahead   int
 	started bool
 	closed  bool
 }
+
+// SetReadahead implements am.ReadaheadHinter. Only the primary buckets are
+// contiguous (pages 0..Primary-1); overflow pages are chained anywhere past
+// them, so prefetch is confined to the primary region.
+func (it *scanIter) SetReadahead(n int) { it.ahead = n }
 
 // Next implements am.Iterator.
 func (it *scanIter) Next() (page.RID, []byte, bool, error) {
@@ -268,7 +274,16 @@ func (it *scanIter) Next() (page.RID, []byte, bool, error) {
 			it.started = true
 		}
 		for it.cur != page.Nil {
-			p, err := it.f.buf.Fetch(it.cur)
+			var p *page.Page
+			var err error
+			if ahead := it.ahead; ahead > 0 && int(it.cur) < it.f.meta.Primary {
+				if rest := it.f.meta.Primary - int(it.cur) - 1; ahead > rest {
+					ahead = rest
+				}
+				p, err = it.f.buf.FetchAhead(it.cur, ahead)
+			} else {
+				p, err = it.f.buf.Fetch(it.cur)
+			}
 			if err != nil {
 				return page.NilRID, nil, false, err
 			}

@@ -159,8 +159,14 @@ type scanIter struct {
 	slot   int
 	filter bool
 	key    int64
+	ahead  int
 	closed bool
 }
+
+// SetReadahead implements am.ReadaheadHinter: page fetches may prefetch
+// up to n pages past the cursor. Heap pages are fully contiguous, so the
+// whole file is one readahead run.
+func (it *scanIter) SetReadahead(n int) { it.ahead = n }
 
 // Next implements am.Iterator.
 func (it *scanIter) Next() (page.RID, []byte, bool, error) {
@@ -169,7 +175,13 @@ func (it *scanIter) Next() (page.RID, []byte, bool, error) {
 	}
 	n := it.f.buf.NumPages()
 	for int(it.cur) < n {
-		p, err := it.f.buf.Fetch(it.cur)
+		var p *page.Page
+		var err error
+		if it.ahead > 0 {
+			p, err = it.f.buf.FetchAhead(it.cur, it.ahead)
+		} else {
+			p, err = it.f.buf.Fetch(it.cur)
+		}
 		if err != nil {
 			return page.NilRID, nil, false, err
 		}

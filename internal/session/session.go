@@ -39,6 +39,12 @@ type Session struct {
 	nowAt  temporal.Time
 	hasNow bool
 
+	// pol, when set, overrides the database's default buffer policy for
+	// this session's reads (tquel `\set buffer`). Unset sessions follow
+	// the database — one frame, no readahead, in measurement mode.
+	pol    buffer.Policy
+	hasPol bool
+
 	tmpSeq int
 }
 
@@ -102,6 +108,26 @@ func (s *Session) ClearNow() {
 // NowOverride returns the override and whether one is set.
 func (s *Session) NowOverride() (temporal.Time, bool) {
 	return s.nowAt, s.hasNow
+}
+
+// SetBufferPolicy overrides the session's buffer policy. This (together
+// with engine configuration in core.Options) is the sanctioned place to
+// construct a buffer.Policy — tdbvet's bufpolicy check keeps it that way,
+// so measurement mode cannot drift by a stray literal elsewhere.
+func (s *Session) SetBufferPolicy(frames, readahead int) {
+	s.pol = buffer.Policy{Frames: frames, Readahead: readahead}.Normalize()
+	s.hasPol = true
+}
+
+// ClearBufferPolicy removes the override; the session follows the
+// database's default policy.
+func (s *Session) ClearBufferPolicy() {
+	s.pol, s.hasPol = buffer.Policy{}, false
+}
+
+// BufferPolicy returns the override and whether one is set.
+func (s *Session) BufferPolicy() (buffer.Policy, bool) {
+	return s.pol, s.hasPol
 }
 
 // NextTemp names the session's next temporary relation. The default

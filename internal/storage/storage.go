@@ -19,6 +19,10 @@ import (
 type File interface {
 	// ReadPage copies page id into p.
 	ReadPage(id page.ID, p *page.Page) error
+	// ReadPages copies the consecutive pages id..id+len(ps)-1 into ps in
+	// one operation — the readahead path of the buffer manager. The whole
+	// run must be in range.
+	ReadPages(id page.ID, ps []page.Page) error
 	// WritePage stores p at page id. id must be < NumPages().
 	WritePage(id page.ID, p *page.Page) error
 	// Allocate extends the file by one zeroed page and returns its ID.
@@ -57,6 +61,23 @@ func (m *Mem) ReadPage(id page.ID, p *page.Page) error {
 		return err
 	}
 	*p = m.pages[id]
+	return nil
+}
+
+// ReadPages implements File with one range copy.
+func (m *Mem) ReadPages(id page.ID, ps []page.Page) error {
+	if len(ps) == 0 {
+		return nil
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if err := checkBounds(id, len(m.pages)); err != nil {
+		return err
+	}
+	if err := checkBounds(id+page.ID(len(ps))-1, len(m.pages)); err != nil {
+		return err
+	}
+	copy(ps, m.pages[id:])
 	return nil
 }
 
@@ -133,6 +154,29 @@ func (d *Disk) ReadPage(id page.ID, p *page.Page) error {
 	}
 	_, err := d.f.ReadAt(p[:], int64(id)*page.Size)
 	return err
+}
+
+// ReadPages implements File with one positioned read covering the run.
+func (d *Disk) ReadPages(id page.ID, ps []page.Page) error {
+	if len(ps) == 0 {
+		return nil
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := checkBounds(id, d.n); err != nil {
+		return err
+	}
+	if err := checkBounds(id+page.ID(len(ps))-1, d.n); err != nil {
+		return err
+	}
+	buf := make([]byte, len(ps)*page.Size)
+	if _, err := d.f.ReadAt(buf, int64(id)*page.Size); err != nil {
+		return err
+	}
+	for i := range ps {
+		copy(ps[i][:], buf[i*page.Size:])
+	}
+	return nil
 }
 
 // WritePage implements File.
