@@ -1,0 +1,53 @@
+package am_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"tdbms/internal/am"
+	"tdbms/internal/buffer"
+	"tdbms/internal/faultfs"
+	"tdbms/internal/heapfile"
+	"tdbms/internal/storage"
+)
+
+// TestFilterRangePropagatesReadError wraps a fault-injected scan in
+// FilterRange and requires the filter to pass the error through Next — not
+// absorb it while looking for the next in-range tuple — and to still close
+// the underlying iterator.
+func TestFilterRangePropagatesReadError(t *testing.T) {
+	mem := storage.NewMem()
+	buf := buffer.New("r", mem)
+	key := am.Key{Offset: 0, Width: 4}
+	f := heapfile.NewKeyed(buf, 16, key)
+	for id := int32(1); id <= 200; id++ {
+		tup := make([]byte, 16)
+		binary.LittleEndian.PutUint32(tup, uint32(id))
+		if _, err := f.Insert(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := buf.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	sched := faultfs.MustParse("r:read@2")
+	fbuf := buffer.New("r", sched.Wrap("r", mem))
+	inner := heapfile.NewKeyed(fbuf, 16, key).Scan()
+	it := am.FilterRange(inner, key, 150, 160)
+	for {
+		_, _, ok, err := it.Next()
+		if err != nil {
+			if !faultfs.IsInjected(err) {
+				t.Fatalf("Next returned a non-injected error: %v", err)
+			}
+			break
+		}
+		if !ok {
+			t.Fatal("filtered iterator ended without surfacing the injected read error")
+		}
+	}
+	if err := it.Close(); err != nil {
+		t.Fatalf("Close after an iterator error: %v", err)
+	}
+}

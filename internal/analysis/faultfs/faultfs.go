@@ -1,0 +1,55 @@
+// Package faultfs enforces that the fault-injection wrapper stays test
+// infrastructure: tdbms/internal/faultfs may be imported only by the
+// differential harness (internal/difftest) and by _test.go files. A
+// production import would let injected-fault plumbing — wrapper types,
+// sentinel errors, schedule state — leak into measured code paths, and the
+// measurement invariants (page counts pinned by goldens) only hold when the
+// storage stack under the benchmark is exactly the real one.
+//
+// The loader never type-checks _test.go files, so test files are exempt by
+// construction; this check only sees production packages.
+package faultfs
+
+import (
+	"tdbms/internal/analysis"
+)
+
+const faultfsPkg = "tdbms/internal/faultfs"
+
+// allowed are the production packages that may import the wrapper: the
+// wrapper itself and the differential harness, whose non-test helper file
+// exists to be documented and vetted. Fixture packages load under a
+// synthetic import path, so both are also recognized by package name.
+var allowed = map[string]bool{
+	faultfsPkg:                true,
+	"tdbms/internal/difftest": true,
+}
+
+var allowedNames = map[string]bool{
+	"faultfs":  true,
+	"difftest": true,
+}
+
+// Analyzer is the faultfs-containment check.
+var Analyzer = &analysis.Analyzer{
+	Name: "faultfs",
+	Doc:  "tdbms/internal/faultfs is test infrastructure: importable only from _test.go files and internal/difftest",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	if allowed[pass.Pkg.Path()] || allowedNames[pass.Pkg.Name()] {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path := imp.Path.Value // quoted literal
+			if len(path) < 2 || path[1:len(path)-1] != faultfsPkg {
+				continue
+			}
+			pass.Report(imp.Pos(),
+				"%s is test infrastructure: import it from _test.go files or internal/difftest, never from production code",
+				faultfsPkg)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package faultfs_test
+
+import (
+	"testing"
+
+	"tdbms/internal/analysis/analysistest"
+	"tdbms/internal/analysis/faultfs"
+)
+
+func TestImportViolating(t *testing.T) {
+	analysistest.Run(t, faultfs.Analyzer, "testdata/import_violating.go")
+}
+
+func TestImportClean(t *testing.T) {
+	analysistest.Run(t, faultfs.Analyzer, "testdata/import_clean.go")
+}

@@ -1,0 +1,13 @@
+// Clean fixture for the faultfs-containment check: the differential
+// harness (package difftest) is the one production package allowed to
+// import the fault-injection wrapper.
+package difftest
+
+import (
+	"tdbms/internal/faultfs"
+)
+
+// Absorbed classifies a retryable harness error.
+func Absorbed(err error) bool {
+	return faultfs.IsInjected(err)
+}

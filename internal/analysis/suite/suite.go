@@ -13,6 +13,7 @@ import (
 	"tdbms/internal/analysis/copylocks"
 	"tdbms/internal/analysis/determinism"
 	"tdbms/internal/analysis/errcheck"
+	faultfscheck "tdbms/internal/analysis/faultfs"
 	"tdbms/internal/analysis/layering"
 	"tdbms/internal/analysis/sessionstate"
 )
@@ -39,6 +40,9 @@ func underInternal(modPath, pkgPath string) bool {
 //   - bufpolicy guards measurement mode: buffer.Policy is constructed only
 //     behind the sanctioned configuration surfaces (internal/buffer,
 //     internal/session, internal/core), module-wide;
+//   - faultfs keeps the fault-injection wrapper out of production code:
+//     only _test.go files (never loaded) and internal/difftest may import
+//     it, module-wide;
 //   - errcheck guards all of internal/;
 //   - copylocks guards the whole module, examples and commands included.
 var Checks = []Scoped{
@@ -50,6 +54,7 @@ var Checks = []Scoped{
 	{determinism.Analyzer, func(modPath, pkgPath string) bool {
 		return pkgPath == modPath+"/internal/bench"
 	}},
+	{faultfscheck.Analyzer, func(modPath, pkgPath string) bool { return true }},
 	{errcheck.Analyzer, underInternal},
 	{copylocks.Analyzer, func(modPath, pkgPath string) bool { return true }},
 }

@@ -3,6 +3,8 @@ package bench
 import (
 	"fmt"
 	"strings"
+
+	"tdbms/internal/core"
 )
 
 // Figure10Result holds the measured costs of the Section 6 enhancements on
@@ -30,7 +32,12 @@ var indexStmts = map[string]string{
 
 // buildEvolved creates the temporal/100% database at update count uc.
 func buildEvolved(uc int) (*DB, error) {
-	b, err := Build(Temporal, 100)
+	return buildEvolvedOpts(uc, core.Options{})
+}
+
+// buildEvolvedOpts is buildEvolved with explicit core options.
+func buildEvolvedOpts(uc int, opts core.Options) (*DB, error) {
+	b, err := BuildOpts(Temporal, 100, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -59,6 +66,13 @@ func measureInputs(b *DB) (map[string]int64, error) {
 // RunFigure10 measures Figure 10: the conventional structure, the two-level
 // store (simple and clustered), and the four secondary-index organizations.
 func RunFigure10(uc int, progress func(stage string)) (*Figure10Result, error) {
+	return RunFigure10Opts(uc, core.Options{}, progress)
+}
+
+// RunFigure10Opts is RunFigure10 with explicit core options for every
+// database it builds (see BuildOpts). Two-level stores cannot persist, so
+// opts must leave Dir empty.
+func RunFigure10Opts(uc int, opts core.Options, progress func(stage string)) (*Figure10Result, error) {
 	note := func(s string) {
 		if progress != nil {
 			progress(s)
@@ -67,7 +81,7 @@ func RunFigure10(uc int, progress func(stage string)) (*Figure10Result, error) {
 	r := &Figure10Result{UC: uc, Idx: map[string]map[string]int64{}}
 
 	note("conventional, update count 0")
-	b0, err := buildEvolved(0)
+	b0, err := buildEvolvedOpts(0, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -76,7 +90,7 @@ func RunFigure10(uc int, progress func(stage string)) (*Figure10Result, error) {
 	}
 
 	note(fmt.Sprintf("conventional, update count %d", uc))
-	b, err := buildEvolved(uc)
+	b, err := buildEvolvedOpts(uc, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -100,7 +114,7 @@ func RunFigure10(uc int, progress func(stage string)) (*Figure10Result, error) {
 	for vi, variant := range IndexVariants {
 		note("secondary index, " + variant)
 		r.Idx[variant] = map[string]int64{}
-		bi, err := buildEvolved(uc)
+		bi, err := buildEvolvedOpts(uc, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -125,7 +139,7 @@ func RunFigure10(uc int, progress func(stage string)) (*Figure10Result, error) {
 	}
 
 	note("two-level store, clustered history")
-	bc, err := buildEvolved(uc)
+	bc, err := buildEvolvedOpts(uc, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"tdbms/internal/core"
 )
 
 // Key identifies one of the eight benchmark databases.
@@ -43,6 +45,13 @@ func AllSeries(maxUC int, progress func(k Key, uc int)) (map[Key]*Series, error)
 // and on failure the error of the earliest database in column order wins —
 // so every observable output is independent of scheduling.
 func AllSeriesWorkers(maxUC, workers int, progress func(k Key, uc int)) (map[Key]*Series, error) {
+	return AllSeriesWorkersOpts(maxUC, workers, core.Options{}, progress)
+}
+
+// AllSeriesWorkersOpts is AllSeriesWorkers with explicit core options for
+// every database (see BuildOpts) — the pooled-policy golden figures run
+// through it.
+func AllSeriesWorkersOpts(maxUC, workers int, opts core.Options, progress func(k Key, uc int)) (map[Key]*Series, error) {
 	keys := AllKeys()
 	if workers < 1 {
 		workers = DefaultWorkers()
@@ -61,7 +70,7 @@ func AllSeriesWorkers(maxUC, workers int, progress func(k Key, uc int)) (map[Key
 			defer wg.Done()
 			for i := range jobs {
 				k := keys[i]
-				series[i], errs[i] = Run(k.T, k.L, maxUC, func(uc int) {
+				series[i], errs[i] = RunOpts(k.T, k.L, maxUC, opts, func(uc int) {
 					if progress == nil {
 						return
 					}

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"tdbms/internal/core"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite the golden figure fixture")
@@ -32,12 +34,18 @@ func renderGoldenFigures(t *testing.T) string {
 // (0 = default) — the determinism test renders at several counts and
 // requires identical bytes.
 func renderFiguresAt(t *testing.T, workers int) string {
+	return renderFiguresOpts(t, workers, core.Options{})
+}
+
+// renderFiguresOpts renders the figures with explicit core options — the
+// pooled-policy golden runs through it.
+func renderFiguresOpts(t *testing.T, workers int, opts core.Options) string {
 	t.Helper()
-	series, err := AllSeriesWorkers(goldenUC, workers, nil)
+	series, err := AllSeriesWorkersOpts(goldenUC, workers, opts, nil)
 	if err != nil {
 		t.Fatalf("AllSeriesWorkers(%d, %d): %v", goldenUC, workers, err)
 	}
-	f10, err := RunFigure10(goldenF10UC, nil)
+	f10, err := RunFigure10Opts(goldenF10UC, opts, nil)
 	if err != nil {
 		t.Fatalf("RunFigure10(%d): %v", goldenF10UC, err)
 	}
@@ -61,8 +69,13 @@ func renderFiguresAt(t *testing.T, workers int) string {
 // requires them to be byte-identical to testdata/figures_fast.golden.
 // Run with -update to rewrite the fixture after an intentional change.
 func TestGoldenFigures(t *testing.T) {
-	got := renderGoldenFigures(t)
-	path := filepath.Join("testdata", "figures_fast.golden")
+	compareGolden(t, renderGoldenFigures(t), filepath.Join("testdata", "figures_fast.golden"))
+}
+
+// compareGolden requires got to match the fixture at path byte-for-byte,
+// rewriting the fixture instead when -update is set.
+func compareGolden(t *testing.T, got, path string) {
+	t.Helper()
 	if *updateGolden {
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			t.Fatal(err)

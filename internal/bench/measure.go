@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 
+	"tdbms/internal/core"
 	"tdbms/internal/isam"
 	"tdbms/internal/page"
 )
@@ -73,7 +74,14 @@ func MeasureQuery(b *DB, text string) (Measurement, error) {
 // (Section 5.2). The progress callback, if non-nil, is invoked after each
 // update count.
 func Run(t DBType, loading, maxUC int, progress func(uc int)) (*Series, error) {
-	b, err := Build(t, loading)
+	return RunOpts(t, loading, maxUC, core.Options{}, progress)
+}
+
+// RunOpts is Run against a database opened with explicit core options (see
+// BuildOpts). The page counters change with the buffer policy; the result
+// rows must not.
+func RunOpts(t DBType, loading, maxUC int, opts core.Options, progress func(uc int)) (*Series, error) {
+	b, err := BuildOpts(t, loading, opts)
 	if err != nil {
 		return nil, err
 	}

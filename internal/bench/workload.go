@@ -115,7 +115,19 @@ func randomString(rng *rand.Rand) string {
 // 1024 tuples (108 data bytes each), and modified to their access methods
 // at the requested loading factor, exactly as Figure 3 does.
 func Build(t DBType, loading int) (*DB, error) {
-	inner := core.MustOpen(core.Options{Now: loadTime})
+	return BuildOpts(t, loading, core.Options{})
+}
+
+// BuildOpts is Build against a database opened with explicit core options —
+// the configuration axis of the ablations and the differential tests
+// (buffer policy, disk backing, fault injection). The clock is forced to
+// the benchmark load time so every configuration evolves identically.
+func BuildOpts(t DBType, loading int, opts core.Options) (*DB, error) {
+	opts.Now = loadTime
+	inner, err := core.Open(opts)
+	if err != nil {
+		return nil, err
+	}
 	b := &DB{
 		Type:    t,
 		Loading: loading,
@@ -123,34 +135,7 @@ func Build(t DBType, loading int) (*DB, error) {
 		H:       string(t) + "_h",
 		I:       string(t) + "_i",
 	}
-	for _, rel := range []string{b.H, b.I} {
-		stmt := fmt.Sprintf("%s %s (id = i4, amount = i4, seq = i4, string = c96)", createDecl(t), rel)
-		if _, err := inner.Exec(stmt); err != nil {
-			return nil, err
-		}
-	}
-
-	// Each relation gets its own deterministic stream, offset so the two
-	// relations differ.
-	for relIdx, rel := range []string{b.H, b.I} {
-		rows, err := generateRows(t, int64(relIdx))
-		if err != nil {
-			return nil, err
-		}
-		if _, err := inner.Load(rel, rows); err != nil {
-			return nil, err
-		}
-	}
-
-	mods := fmt.Sprintf(`modify %s to hash on id where fillfactor = %d
-	                     modify %s to isam on id where fillfactor = %d`,
-		b.H, loading, b.I, loading)
-	if _, err := inner.Exec(mods); err != nil {
-		return nil, err
-	}
-	ranges := fmt.Sprintf(`range of h is %s
-	                       range of i is %s`, b.H, b.I)
-	if _, err := inner.Exec(ranges); err != nil {
+	if err := loadInto(b); err != nil {
 		return nil, err
 	}
 	return b, nil

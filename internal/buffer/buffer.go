@@ -281,11 +281,13 @@ func (b *Buffered) charge(d Stats) {
 }
 
 // flushFrame writes a dirty frame back, charging the write to b. Caller
-// holds p.mu.
+// holds p.mu. On a write error the frame STAYS dirty, so the page is
+// retried by the next Flush/Close — with one-shot faults (and most real
+// transient errors) the retry repairs any partially-written page image.
 func (b *Buffered) flushFrame(f *frame) error {
 	if f.dirty && f.id != page.Nil {
 		if err := b.p.file.WritePage(f.id, &f.pg); err != nil {
-			return err
+			return fmt.Errorf("buffer %q: flush page %d: %w", b.p.name, f.id, err)
 		}
 		b.charge(Stats{Writes: 1})
 	}
@@ -315,7 +317,7 @@ func (b *Buffered) Fetch(id page.ID) (*page.Page, error) {
 		if err := p.file.ReadPage(id, &f.pg); err != nil {
 			f.id = page.Nil
 			p.pending = nil
-			return nil, err
+			return nil, fmt.Errorf("buffer %q: read page %d: %w", p.name, id, err)
 		}
 		f.id = id
 		f.used = p.tick
@@ -372,7 +374,7 @@ func (b *Buffered) FetchAhead(id page.ID, ahead int) (*page.Page, error) {
 	batch := make([]page.Page, n)
 	if err := p.file.ReadPages(id, batch); err != nil {
 		p.pending = nil
-		return nil, err
+		return nil, fmt.Errorf("buffer %q: read pages %d..%d: %w", p.name, id, int(id)+n-1, err)
 	}
 	// Install back-to-front so the requested page ends most recently used
 	// and every eviction picks a pre-existing frame (the fresh ticks are
@@ -427,12 +429,17 @@ func (b *Buffered) Allocate() (page.ID, *page.Page, error) {
 	defer p.mu.Unlock()
 	p.sync()
 	p.tick++
-	f := p.victim()
-	if err := b.flushFrame(f); err != nil {
-		return page.Nil, nil, err
-	}
+	// Extend the file before flushing the victim: a caller may have linked
+	// the predicted new page ID into an overflow chain on a page now
+	// sitting dirty in a frame, and flushing that link to disk before the
+	// allocation is known to succeed would persist a dangling chain.
+	// The order is counter-neutral — the same writes happen either way.
 	id, err := p.file.Allocate()
 	if err != nil {
+		return page.Nil, nil, fmt.Errorf("buffer %q: allocate: %w", p.name, err)
+	}
+	f := p.victim()
+	if err := b.flushFrame(f); err != nil {
 		return page.Nil, nil, err
 	}
 	f.pg = page.Page{}

@@ -46,6 +46,11 @@ type Options struct {
 	// prefetch past its cursor in one batch. Zero — the measurement
 	// default — disables readahead; it is capped at BufferFrames-1.
 	BufferReadahead int
+	// WrapFile, when non-nil, wraps every storage file the database opens
+	// (keyed by the relation or temporary name). The fault-injection tests
+	// use it to splice a faultfs schedule under the buffer manager;
+	// production code leaves it nil.
+	WrapFile func(name string, f storage.File) storage.File
 }
 
 // Database is a temporal database: a catalog of typed relations, their open
@@ -142,10 +147,20 @@ func (db *Database) Catalog() *catalog.Catalog { return db.cat }
 
 // newFile creates a fresh paged file for the named relation or temporary.
 func (db *Database) newFile(name string) (storage.File, error) {
+	var f storage.File
 	if db.opts.Dir == "" {
-		return storage.NewMem(), nil
+		f = storage.NewMem()
+	} else {
+		d, err := storage.OpenDisk(filepath.Join(db.opts.Dir, strings.ToLower(name)+".tdb"))
+		if err != nil {
+			return nil, err
+		}
+		f = d
 	}
-	return storage.OpenDisk(filepath.Join(db.opts.Dir, strings.ToLower(name)+".tdb"))
+	if db.opts.WrapFile != nil {
+		f = db.opts.WrapFile(name, f)
+	}
+	return f, nil
 }
 
 // bufferPolicy is the database-wide default buffer policy, derived from
@@ -163,6 +178,19 @@ func (db *Database) newBuffer(name string) (*buffer.Buffered, error) {
 	f, err := db.newFile(name)
 	if err != nil {
 		return nil, err
+	}
+	return buffer.NewWithPolicy(name, f, db.bufferPolicy()), nil
+}
+
+// newTempBuffer wraps a fresh memory-backed file for a query temporary.
+// Temporaries are memory-backed even on disk databases: they die with the
+// statement, and a disk file here would outlive the query only to be
+// silently re-opened — stale contents included — by a later session reusing
+// the temp name.
+func (db *Database) newTempBuffer(name string) (*buffer.Buffered, error) {
+	var f storage.File = storage.NewMem()
+	if db.opts.WrapFile != nil {
+		f = db.opts.WrapFile(name, f)
 	}
 	return buffer.NewWithPolicy(name, f, db.bufferPolicy()), nil
 }

@@ -121,6 +121,99 @@ func (h *relHandle) indexRemove(tup []byte, rid page.RID) error {
 	return nil
 }
 
+// indexMoveBack reverses indexMove: the entry filed under the superseded
+// address returns to the current side at its original RID.
+func (h *relHandle) indexMoveBack(tup []byte, from secTID, to page.RID) error {
+	for _, ix := range h.indexes {
+		key := indexKey(h.desc, ix, tup)
+		if err := ix.Remove(key, secindex.TID{History: from.history, RID: from.rid}); err != nil {
+			return err
+		}
+		if err := ix.Insert(key, secindex.TID{RID: to}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// indexRemoveAt deletes the entries for a version at an arbitrary store
+// address (current or history side).
+func (h *relHandle) indexRemoveAt(tup []byte, tid secTID) error {
+	for _, ix := range h.indexes {
+		if err := ix.Remove(indexKey(h.desc, ix, tup), secindex.TID{History: tid.history, RID: tid.rid}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- statement compensation ---
+//
+// DML statements are multi-step: a replace closes the old version, moves
+// index entries, and inserts the new version, with every step able to fail
+// once fault injection is in play. There is no WAL; instead each version's
+// mutation is compensated — when a later step fails, the earlier steps are
+// reversed in the buffer, so the chain reverts to its pre-statement image
+// and the next flush (injected faults are one-shot) persists a consistent
+// state. The guarantee is per version chain: after a failed statement every
+// chain holds either the old version or the complete new one, never a
+// half-applied mix. Two-level stores are exempt — they move superseded
+// tuples into a separate history store, cannot persist at all, and a failed
+// statement there surfaces the error without compensation.
+
+// undoFn reverses one applied mutation step.
+type undoFn func() error
+
+// unwind reverses completed steps in reverse order after err stopped a
+// multi-step mutation. A failing undo is reported alongside the original
+// error; err stays the wrapped cause so callers can still identify it.
+func unwind(err error, undos []undoFn) error {
+	for i := len(undos) - 1; i >= 0; i-- {
+		if uerr := undos[i](); uerr != nil {
+			if err == nil {
+				return uerr
+			}
+			return fmt.Errorf("%w (rollback incomplete: %v)", err, uerr)
+		}
+	}
+	return err
+}
+
+// locateVersion re-finds the address of a version whose bytes are known —
+// the compensation twin of resolveCandidate.
+func (db *Conn) locateVersion(h *relHandle, tup []byte, rid page.RID) (page.RID, error) {
+	c, err := db.resolveCandidate(h, candidate{rid: rid, tup: tup})
+	if err != nil {
+		return page.NilRID, err
+	}
+	return c.rid, nil
+}
+
+// restoreOpen rewrites a superseded version back to its open image,
+// reversing a Supersede whose statement failed afterwards.
+func (db *Conn) restoreOpen(h *relHandle, closed []byte, tid secTID, open []byte) error {
+	if tid.history {
+		return fmt.Errorf("core: %s: cannot restore a version moved to the history store", h.desc.Name)
+	}
+	rid, err := db.locateVersion(h, closed, tid.rid)
+	if err != nil {
+		return err
+	}
+	return h.src.UpdateCurrent(rid, open)
+}
+
+// removeVersion deletes a version that a failed statement inserted.
+func (db *Conn) removeVersion(h *relHandle, tup []byte, tid secTID) error {
+	if tid.history {
+		return fmt.Errorf("core: %s: cannot remove a version from the history store", h.desc.Name)
+	}
+	rid, err := db.locateVersion(h, tup, tid.rid)
+	if err != nil {
+		return err
+	}
+	return h.src.RemoveCurrent(rid)
+}
+
 // --- append ---
 
 func (db *Conn) execAppend(s *tquel.AppendStmt) (*Result, error) {
@@ -247,7 +340,9 @@ func (db *Conn) insertNew(h *relHandle, tup []byte, valid *tquel.ValidClause, e 
 		return 0, err
 	}
 	if err := h.indexInsertCurrent(tup, rid); err != nil {
-		return 0, err
+		return 0, unwind(err, []undoFn{func() error {
+			return db.removeVersion(h, tup, secTID{rid: rid})
+		}})
 	}
 	return 1, nil
 }
@@ -313,7 +408,9 @@ func (db *Conn) execDelete(s *tquel.DeleteStmt) (*Result, error) {
 	}
 	now := db.now()
 	for _, c := range cands {
-		if err := db.deleteVersion(h, c, now); err != nil {
+		// The returned undo is dropped: a completed delete is final, and a
+		// failed one has already been compensated internally.
+		if _, err := db.deleteVersion(h, c, now); err != nil {
 			return nil, err
 		}
 	}
@@ -351,45 +448,79 @@ func (db *Conn) resolveCandidate(h *relHandle, c candidate) (candidate, error) {
 }
 
 // deleteVersion applies the type-specific delete of Section 4 to one
-// current version.
-func (db *Conn) deleteVersion(h *relHandle, c candidate, now temporal.Time) error {
+// current version. On success it also returns an undo that reverses the
+// whole delete, for callers (replace) with further steps that may fail;
+// on error, any steps already applied have been compensated.
+func (db *Conn) deleteVersion(h *relHandle, c candidate, now temporal.Time) (undoFn, error) {
 	desc := h.desc
 	c, err := db.resolveCandidate(h, c)
 	if err != nil {
-		return err
+		return nil, err
+	}
+	// reinsert puts an outright-removed version back (static semantics).
+	reinsert := func() error {
+		rid, err := h.src.InsertCurrent(c.tup)
+		if err != nil {
+			return err
+		}
+		return h.indexInsertCurrent(c.tup, rid)
 	}
 	switch desc.Type {
 	case catalog.Static:
 		if err := h.src.RemoveCurrent(c.rid); err != nil {
-			return err
+			return nil, err
 		}
-		return h.indexRemove(c.tup, c.rid)
+		if err := h.indexRemove(c.tup, c.rid); err != nil {
+			return nil, unwind(err, []undoFn{reinsert})
+		}
+		return reinsert, nil
 
 	case catalog.Rollback:
 		closed := append([]byte(nil), c.tup...)
 		setTime(desc, closed, desc.TE, now)
 		tid, err := h.src.Supersede(c.rid, closed)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		return h.indexMove(closed, c.rid, tid)
+		reopen := func() error { return db.restoreOpen(h, closed, tid, c.tup) }
+		if err := h.indexMove(closed, c.rid, tid); err != nil {
+			return nil, unwind(err, []undoFn{reopen})
+		}
+		return func() error {
+			if err := h.indexMoveBack(closed, tid, c.rid); err != nil {
+				return err
+			}
+			return reopen()
+		}, nil
 
 	case catalog.Historical:
 		if desc.Model == catalog.ModelEvent {
 			// An event cannot stop being valid; deleting it is error
 			// correction and removes it outright.
 			if err := h.src.RemoveCurrent(c.rid); err != nil {
-				return err
+				return nil, err
 			}
-			return h.indexRemove(c.tup, c.rid)
+			if err := h.indexRemove(c.tup, c.rid); err != nil {
+				return nil, unwind(err, []undoFn{reinsert})
+			}
+			return reinsert, nil
 		}
 		closed := append([]byte(nil), c.tup...)
 		setTime(desc, closed, desc.VT, now)
 		tid, err := h.src.Supersede(c.rid, closed)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		return h.indexMove(closed, c.rid, tid)
+		reopen := func() error { return db.restoreOpen(h, closed, tid, c.tup) }
+		if err := h.indexMove(closed, c.rid, tid); err != nil {
+			return nil, unwind(err, []undoFn{reopen})
+		}
+		return func() error {
+			if err := h.indexMoveBack(closed, tid, c.rid); err != nil {
+				return err
+			}
+			return reopen()
+		}, nil
 
 	case catalog.Temporal:
 		// Close the version in transaction time...
@@ -397,11 +528,14 @@ func (db *Conn) deleteVersion(h *relHandle, c candidate, now temporal.Time) erro
 		setTime(desc, closed, desc.TE, now)
 		tid, err := h.src.Supersede(c.rid, closed)
 		if err != nil {
-			return err
+			return nil, err
 		}
+		reopen := func() error { return db.restoreOpen(h, closed, tid, c.tup) }
+		undos := []undoFn{reopen}
 		if err := h.indexMove(closed, c.rid, tid); err != nil {
-			return err
+			return nil, unwind(err, undos)
 		}
+		undos = append(undos, func() error { return h.indexMoveBack(closed, tid, c.rid) })
 		if desc.Model == catalog.ModelInterval {
 			// ... and insert the marker recording that validity ended now
 			// ("a new version with the updated valid to attribute").
@@ -411,13 +545,19 @@ func (db *Conn) deleteVersion(h *relHandle, c candidate, now temporal.Time) erro
 			setTime(desc, marker, desc.VT, now)
 			mtid, err := h.src.InsertHistory(marker)
 			if err != nil {
-				return err
+				return nil, unwind(err, undos)
 			}
-			return h.indexInsertHistory(marker, mtid)
+			undos = append(undos, func() error { return db.removeVersion(h, marker, mtid) })
+			if err := h.indexInsertHistory(marker, mtid); err != nil {
+				return nil, unwind(err, undos)
+			}
+			undos = append(undos, func() error { return h.indexRemoveAt(marker, mtid) })
 		}
-		return nil
+		return func() error {
+			return unwind(nil, undos)
+		}, nil
 	}
-	return fmt.Errorf("core: unknown relation type %v", desc.Type)
+	return nil, fmt.Errorf("core: unknown relation type %v", desc.Type)
 }
 
 func (db *Conn) execReplace(s *tquel.ReplaceStmt) (*Result, error) {
@@ -445,13 +585,7 @@ func (db *Conn) execReplace(s *tquel.ReplaceStmt) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			if err := h.src.UpdateCurrent(c.rid, newUser); err != nil {
-				return nil, err
-			}
-			if err := h.indexRemove(c.tup, c.rid); err != nil {
-				return nil, err
-			}
-			if err := h.indexInsertCurrent(newUser, c.rid); err != nil {
+			if err := db.replaceInPlace(h, c, newUser); err != nil {
 				return nil, err
 			}
 			continue
@@ -470,13 +604,7 @@ func (db *Conn) execReplace(s *tquel.ReplaceStmt) (*Result, error) {
 				if err != nil {
 					return nil, err
 				}
-				if err := h.src.UpdateCurrent(c.rid, newUser); err != nil {
-					return nil, err
-				}
-				if err := h.indexRemove(c.tup, c.rid); err != nil {
-					return nil, err
-				}
-				if err := h.indexInsertCurrent(newUser, c.rid); err != nil {
+				if err := db.replaceInPlace(h, c, newUser); err != nil {
 					return nil, err
 				}
 				continue
@@ -484,7 +612,10 @@ func (db *Conn) execReplace(s *tquel.ReplaceStmt) (*Result, error) {
 		}
 
 		// Versioned replace: delete the old version, then append the new.
-		if err := db.deleteVersion(h, c, now); err != nil {
+		// A failure inside insertNew reverses the delete, so the chain keeps
+		// its old version rather than ending half-replaced.
+		undoDelete, err := db.deleteVersion(h, c, now)
+		if err != nil {
 			return nil, err
 		}
 		valid := s.Valid
@@ -495,9 +626,27 @@ func (db *Conn) execReplace(s *tquel.ReplaceStmt) (*Result, error) {
 			valid = &tquel.ValidClause{At: &tquel.TConst{Text: temporal.Format(at, temporal.Second)}}
 		}
 		if _, err := db.insertNew(h, newUser, valid, q.env); err != nil {
-			return nil, err
+			return nil, unwind(err, []undoFn{undoDelete})
 		}
 	}
 	b.tup = nil
 	return &Result{Affected: len(cands)}, nil
+}
+
+// replaceInPlace overwrites a current version with a new image (static and
+// historical-event semantics), keeping the index entries in step. Each step
+// is compensated so a mid-replace failure leaves the old image in place.
+func (db *Conn) replaceInPlace(h *relHandle, c candidate, newUser []byte) error {
+	if err := h.src.UpdateCurrent(c.rid, newUser); err != nil {
+		return err
+	}
+	undos := []undoFn{func() error { return h.src.UpdateCurrent(c.rid, c.tup) }}
+	if err := h.indexRemove(c.tup, c.rid); err != nil {
+		return unwind(err, undos)
+	}
+	undos = append(undos, func() error { return h.indexInsertCurrent(c.tup, c.rid) })
+	if err := h.indexInsertCurrent(newUser, c.rid); err != nil {
+		return unwind(err, undos)
+	}
+	return nil
 }

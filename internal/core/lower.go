@@ -328,7 +328,7 @@ func (l *lowering) materialize(n *plan.Node) (*exec.Materialize, error) {
 		idx[i] = d.Schema.Index(name)
 	}
 	tmpSchema := d.Schema.Project(idx, nil)
-	buf, err := db.newBuffer(db.sess.NextTemp())
+	buf, err := db.newTempBuffer(db.sess.NextTemp())
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,115 @@
+package difftest
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"tdbms/internal/bench"
+	"tdbms/internal/core"
+)
+
+// configUC is the evolution depth of the configuration matrix: one uniform
+// update round, so every query answers against real version chains
+// (superseded versions, delete markers) while the heap cells' unindexed
+// joins stay tier-1-fast. Deeper evolution is pinned by the golden figures.
+const configUC = 1
+
+// TestConfigMatrix is the differential oracle over live configurations: for
+// each database type, every access method × buffer policy × execution path
+// must produce byte-identical canonical result tuples for all twelve
+// benchmark queries. The baseline cell is the paper's own configuration
+// (hash/isam, single frame, default session).
+func TestConfigMatrix(t *testing.T) {
+	for _, typ := range bench.Types {
+		typ := typ
+		t.Run(string(typ), func(t *testing.T) {
+			t.Parallel()
+			// The paper cell runs first to establish the baseline; the other
+			// methods then verify against it in parallel.
+			baseline := matrixCell(t, typ, "paper", nil)
+			for _, method := range Methods[1:] {
+				method := method
+				t.Run(method, func(t *testing.T) {
+					t.Parallel()
+					matrixCell(t, typ, method, baseline)
+				})
+			}
+		})
+	}
+}
+
+// matrixCell builds one (type, method) database and checks all four
+// execution variants against the baseline (nil = this cell defines it).
+func matrixCell(t *testing.T, typ bench.DBType, method string, baseline map[string]string) map[string]string {
+	t.Helper()
+	b, err := BuildMethod(typ, method, configUC, core.Options{})
+	if err != nil {
+		t.Fatalf("build %s/%s: %v", typ, method, err)
+	}
+	// The heap cells' unindexed joins are quadratic; running them once per
+	// cell (the direct variant) covers the method axis, and the pool/session
+	// × join interaction is covered by the paper and btree cells. The other
+	// heap variants skip the join queries to stay tier-1-fast.
+	joinsOnce := method == "heap"
+	run := func(variant string, x Execer) {
+		var skip func(string) bool
+		if joinsOnce && variant != "direct" {
+			skip = func(id string) bool { return JoinQueries[id] }
+		}
+		snap, err := SnapshotFiltered(x, typ, skip)
+		if err != nil {
+			t.Fatalf("%s/%s/%s: %v", typ, method, variant, err)
+		}
+		if baseline == nil {
+			baseline = snap
+			return
+		}
+		for id, got := range snap {
+			if want := baseline[id]; got != want {
+				t.Errorf("%s/%s/%s %s: result tuples diverge from baseline\n got: %q\nwant: %q",
+					typ, method, variant, id, got, want)
+			}
+		}
+	}
+
+	// Default session, single-frame measurement policy.
+	run("direct", b.Inner)
+
+	// Explicit session, same policy.
+	s, err := SessionFor(b, "zero", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run("session", s)
+
+	// Explicit session under a pooled policy with readahead.
+	p, err := SessionFor(b, "pooled", 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run("session+pool", p)
+
+	// Default session re-pointed at the pooled policy.
+	b.Inner.DefaultSession().SetBufferPolicy(32, 4)
+	run("direct+pool", b.Inner)
+	b.Inner.DefaultSession().ClearBufferPolicy()
+	return baseline
+}
+
+// TestWorkerIndependence pins the bench-worker axis of the matrix: a full
+// series sweep with one worker and with GOMAXPROCS workers must agree on
+// every measurement — result rows and page counts alike.
+func TestWorkerIndependence(t *testing.T) {
+	one, err := bench.AllSeriesWorkers(1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := bench.AllSeriesWorkers(1, runtime.GOMAXPROCS(0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(one, many) {
+		t.Error("series sweep differs between 1 worker and GOMAXPROCS workers")
+	}
+}

@@ -1,0 +1,218 @@
+package faultfs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"tdbms/internal/page"
+	"tdbms/internal/storage"
+)
+
+func newBacked(t *testing.T, pages int) *storage.Mem {
+	t.Helper()
+	m := storage.NewMem()
+	for i := 0; i < pages; i++ {
+		if _, err := m.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, dsl := range []string{
+		"r",               // no op
+		"r:read",          // no count
+		"r:read@0",        // count < 1
+		"r:read@x",        // non-numeric
+		"r:flush@1",       // unknown op
+		"r:write@1:melt",  // unknown mode
+		"r:read@1:torn",   // torn applies to writes
+		"r:alloc@1:short", // short applies to writes
+		":read@1",         // empty target
+		"r:read@1:fail:x", // too many fields
+	} {
+		if _, err := Parse(dsl); err == nil {
+			t.Errorf("Parse(%q): expected error", dsl)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	in := "temporal_h:write@3:torn;*:read@10:fail;r:alloc@1:enospc"
+	s := MustParse(in)
+	if got := s.String(); got != in {
+		t.Errorf("String() = %q, want %q", got, in)
+	}
+}
+
+func TestReadFault(t *testing.T) {
+	s := MustParse("r:read@2")
+	f := s.Wrap("R", newBacked(t, 4)) // matching is case-insensitive
+	var p page.Page
+	if err := f.ReadPage(0, &p); err != nil {
+		t.Fatalf("first read: %v", err)
+	}
+	err := f.ReadPage(1, &p)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("second read: got %v, want injected fault", err)
+	}
+	if !strings.Contains(err.Error(), "R") {
+		t.Errorf("error %q does not name the relation", err)
+	}
+	// One-shot: the third read succeeds.
+	if err := f.ReadPage(2, &p); err != nil {
+		t.Fatalf("third read: %v", err)
+	}
+	log := s.Injected()
+	if len(log) != 1 || log[0].Op != OpRead || log[0].N != 2 {
+		t.Fatalf("injected log = %v", log)
+	}
+}
+
+func TestReadPagesCountsAsOneOp(t *testing.T) {
+	s := MustParse("r:read@2")
+	f := s.Wrap("r", newBacked(t, 8))
+	batch := make([]page.Page, 4)
+	if err := f.ReadPages(0, batch); err != nil {
+		t.Fatalf("batch 1: %v", err)
+	}
+	if err := f.ReadPages(4, batch); !errors.Is(err, ErrInjected) {
+		t.Fatalf("batch 2: got %v, want injected fault", err)
+	}
+}
+
+func TestWriteFailPersistsNothing(t *testing.T) {
+	inner := newBacked(t, 1)
+	s := MustParse("r:write@1:fail")
+	f := s.Wrap("r", inner)
+	var dirty page.Page
+	for i := range dirty {
+		dirty[i] = 0xAB
+	}
+	if err := f.WritePage(0, &dirty); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write: got %v, want injected fault", err)
+	}
+	var got page.Page
+	if err := inner.ReadPage(0, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != (page.Page{}) {
+		t.Error("fail mode must not touch the page")
+	}
+}
+
+func TestTornAndShortWrites(t *testing.T) {
+	for _, tc := range []struct {
+		mode Mode
+		keep int
+	}{{ModeTorn, tornBytes}, {ModeShort, shortBytes}} {
+		inner := newBacked(t, 1)
+		var old page.Page
+		for i := range old {
+			old[i] = 0x11
+		}
+		if err := inner.WritePage(0, &old); err != nil {
+			t.Fatal(err)
+		}
+		s := MustParse("r:write@1:" + string(tc.mode))
+		f := s.Wrap("r", inner)
+		var upd page.Page
+		for i := range upd {
+			upd[i] = 0x22
+		}
+		if err := f.WritePage(0, &upd); !errors.Is(err, ErrInjected) {
+			t.Fatalf("%s write: got %v, want injected fault", tc.mode, err)
+		}
+		var got page.Page
+		if err := inner.ReadPage(0, &got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			want := byte(0x11)
+			if i < tc.keep {
+				want = 0x22
+			}
+			if got[i] != want {
+				t.Fatalf("%s: byte %d = %#x, want %#x", tc.mode, i, got[i], want)
+			}
+		}
+		// The one-shot fault is spent: a clean rewrite repairs the page.
+		if err := f.WritePage(0, &upd); err != nil {
+			t.Fatalf("%s repair write: %v", tc.mode, err)
+		}
+		if err := inner.ReadPage(0, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got != upd {
+			t.Errorf("%s: retried write did not repair the page", tc.mode)
+		}
+	}
+}
+
+func TestAllocENOSPC(t *testing.T) {
+	inner := newBacked(t, 2)
+	s := MustParse("r:alloc@1:enospc")
+	f := s.Wrap("r", inner)
+	_, err := f.Allocate()
+	if !errors.Is(err, ErrNoSpace) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("alloc: got %v, want ErrNoSpace wrapping ErrInjected", err)
+	}
+	if inner.NumPages() != 2 {
+		t.Error("enospc alloc must not extend the file")
+	}
+	if _, err := f.Allocate(); err != nil {
+		t.Fatalf("second alloc: %v", err)
+	}
+}
+
+func TestSyncFaultIsRetryable(t *testing.T) {
+	s := MustParse("r:sync@1")
+	f := s.Wrap("r", newBacked(t, 1))
+	if err := f.Close(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("close: got %v, want injected fault", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("retried close: %v", err)
+	}
+}
+
+func TestWildcardAndPerRelationCounters(t *testing.T) {
+	s := MustParse("*:read@3")
+	a := s.Wrap("a", newBacked(t, 4))
+	b := s.Wrap("b", newBacked(t, 4))
+	var p page.Page
+	// Counters are per relation: two reads on a, then reads on b — the
+	// wildcard matches whichever relation reaches its third read first.
+	for i := 0; i < 2; i++ {
+		if err := a.ReadPage(0, &p); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.ReadPage(0, &p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.ReadPage(0, &p); !errors.Is(err, ErrInjected) {
+		t.Fatalf("third read on a: got %v, want injected fault", err)
+	}
+	// The rule is spent; b's third read passes.
+	if err := b.ReadPage(0, &p); err != nil {
+		t.Fatalf("third read on b: %v", err)
+	}
+}
+
+func TestRandomIsDeterministic(t *testing.T) {
+	rels := []string{"temporal_h", "temporal_i"}
+	s1 := Random(42, rels, 10)
+	s2 := Random(42, rels, 10)
+	if s1.String() != s2.String() {
+		t.Fatalf("same seed, different schedules:\n%s\n%s", s1, s2)
+	}
+	if s3 := Random(43, rels, 10); s3.String() == s1.String() {
+		t.Errorf("different seeds gave the same schedule %s", s1)
+	}
+	if len(s1.rules) != len(rels) {
+		t.Errorf("want one rule per relation, got %d", len(s1.rules))
+	}
+}

@@ -125,6 +125,14 @@ func (f *File) Insert(tup []byte) (page.RID, error) {
 			f.buf.MarkDirty()
 			gotID, np, err := f.buf.Allocate()
 			if err != nil {
+				// Undo the optimistic chain link: the tail page is still
+				// resident (Allocate only evicts after the file extends),
+				// and leaving the link dirty would let a later flush
+				// persist a pointer to a page that does not exist.
+				if tail, ferr := f.buf.Fetch(id); ferr == nil {
+					tail.SetNext(page.Nil)
+					f.buf.MarkDirty()
+				}
 				return page.NilRID, err
 			}
 			if gotID != newID {

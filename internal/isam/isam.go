@@ -265,6 +265,12 @@ func (f *File) Insert(tup []byte) (page.RID, error) {
 			f.buf.MarkDirty()
 			gotID, np, err := f.buf.Allocate()
 			if err != nil {
+				// Undo the optimistic chain link so no later flush can
+				// persist a pointer to a page that was never allocated.
+				if tail, ferr := f.buf.Fetch(id); ferr == nil {
+					tail.SetNext(page.Nil)
+					f.buf.MarkDirty()
+				}
 				return page.NilRID, err
 			}
 			if gotID != newID {

@@ -56,6 +56,12 @@ var ErrFull = errors.New("page: full")
 // ErrBadSlot is returned when a slot index is out of range or empty.
 var ErrBadSlot = errors.New("page: bad slot")
 
+// ErrCorrupt is returned when a page's header is structurally impossible —
+// a width or line count that no Format/Insert sequence can produce. A torn
+// or partially-written page surfaces as this error instead of an
+// out-of-bounds panic deep in slot arithmetic.
+var ErrCorrupt = errors.New("page: corrupt header")
+
 // Page is a single 1024-byte page. The zero value is an unformatted page;
 // call Format before use.
 type Page [Size]byte
@@ -112,6 +118,28 @@ func (p *Page) setNext(id ID) {
 	binary.LittleEndian.PutUint32(p[offNext:], uint32(int32(id)))
 }
 
+// check validates the header invariants every slot operation relies on:
+// the width fits a page and the line count never exceeds the capacity that
+// width allows. Garbage headers (torn pages, unformatted data) fail here
+// instead of panicking in slot arithmetic.
+func (p *Page) check() error {
+	w := p.Width()
+	n := p.lineCount()
+	if w > Size-HeaderSize {
+		return ErrCorrupt
+	}
+	if w == 0 {
+		if n != 0 {
+			return ErrCorrupt
+		}
+		return nil
+	}
+	if n > Capacity(w) {
+		return ErrCorrupt
+	}
+	return nil
+}
+
 // lineCount is the number of line pointers allocated so far (live or dead).
 func (p *Page) lineCount() int {
 	return int(binary.LittleEndian.Uint16(p[offCount:]))
@@ -142,6 +170,9 @@ func (p *Page) Slots() int { return p.lineCount() }
 
 // Live reports the number of live tuples on the page.
 func (p *Page) Live() int {
+	if p.check() != nil {
+		return 0
+	}
 	n := 0
 	for i := 0; i < p.lineCount(); i++ {
 		if p.linePtr(i) != 0 {
@@ -151,8 +182,12 @@ func (p *Page) Live() int {
 	return n
 }
 
-// HasRoom reports whether Insert would succeed.
+// HasRoom reports whether Insert would succeed. A corrupt page has no room;
+// the subsequent Insert reports why.
 func (p *Page) HasRoom() bool {
+	if p.check() != nil {
+		return false
+	}
 	c := Capacity(p.Width())
 	if p.lineCount() < c {
 		return true
@@ -167,6 +202,9 @@ func (p *Page) HasRoom() bool {
 
 // Insert stores tup in a free slot and returns the slot index.
 func (p *Page) Insert(tup []byte) (int, error) {
+	if err := p.check(); err != nil {
+		return 0, err
+	}
 	w := p.Width()
 	if len(tup) != w {
 		return 0, fmt.Errorf("page: tuple width %d, page formatted for %d", len(tup), w)
@@ -196,6 +234,9 @@ func (p *Page) Insert(tup []byte) (int, error) {
 // Get returns the tuple stored in slot. The returned slice aliases the page;
 // callers that retain it across page evictions must copy it.
 func (p *Page) Get(slot int) ([]byte, error) {
+	if err := p.check(); err != nil {
+		return nil, err
+	}
 	if slot < 0 || slot >= p.lineCount() || p.linePtr(slot) == 0 {
 		return nil, ErrBadSlot
 	}
@@ -205,6 +246,9 @@ func (p *Page) Get(slot int) ([]byte, error) {
 
 // Replace overwrites the tuple in slot in place.
 func (p *Page) Replace(slot int, tup []byte) error {
+	if err := p.check(); err != nil {
+		return err
+	}
 	if slot < 0 || slot >= p.lineCount() || p.linePtr(slot) == 0 {
 		return ErrBadSlot
 	}
@@ -218,6 +262,9 @@ func (p *Page) Replace(slot int, tup []byte) error {
 
 // Delete frees the slot. The space is reusable by a later Insert.
 func (p *Page) Delete(slot int) error {
+	if err := p.check(); err != nil {
+		return err
+	}
 	if slot < 0 || slot >= p.lineCount() || p.linePtr(slot) == 0 {
 		return ErrBadSlot
 	}
@@ -228,6 +275,9 @@ func (p *Page) Delete(slot int) error {
 // Tuples iterates over live slots in slot order, calling fn with the slot
 // index and tuple bytes. The tuple slice aliases the page.
 func (p *Page) Tuples(fn func(slot int, tup []byte) bool) {
+	if p.check() != nil {
+		return
+	}
 	for i := 0; i < p.lineCount(); i++ {
 		if p.linePtr(i) == 0 {
 			continue

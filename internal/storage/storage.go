@@ -10,6 +10,7 @@ package storage
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"tdbms/internal/page"
@@ -122,9 +123,10 @@ func (m *Mem) Close() error { return nil }
 // is accessed with positioned reads/writes, which the OS serializes; the
 // latch guards the page count against concurrent Allocate/Truncate.
 type Disk struct {
-	mu sync.RWMutex
-	f  *os.File
-	n  int
+	mu   sync.RWMutex
+	f    *os.File
+	path string
+	n    int
 }
 
 // OpenDisk opens (creating if necessary) a disk-backed paged file.
@@ -142,7 +144,15 @@ func OpenDisk(path string) (*Disk, error) {
 		_ = f.Close()
 		return nil, fmt.Errorf("storage: %s size %d is not a multiple of the page size", path, st.Size())
 	}
-	return &Disk{f: f, n: int(st.Size() / page.Size)}, nil
+	return &Disk{f: f, path: path, n: int(st.Size() / page.Size)}, nil
+}
+
+// wrap adds the file and page context a raw os error lacks.
+func (d *Disk) wrap(op string, id page.ID, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("storage: %s page %d of %s: %w", op, id, filepath.Base(d.path), err)
 }
 
 // ReadPage implements File.
@@ -153,7 +163,7 @@ func (d *Disk) ReadPage(id page.ID, p *page.Page) error {
 		return err
 	}
 	_, err := d.f.ReadAt(p[:], int64(id)*page.Size)
-	return err
+	return d.wrap("read", id, err)
 }
 
 // ReadPages implements File with one positioned read covering the run.
@@ -171,7 +181,8 @@ func (d *Disk) ReadPages(id page.ID, ps []page.Page) error {
 	}
 	buf := make([]byte, len(ps)*page.Size)
 	if _, err := d.f.ReadAt(buf, int64(id)*page.Size); err != nil {
-		return err
+		return fmt.Errorf("storage: read pages %d..%d of %s: %w",
+			id, int(id)+len(ps)-1, filepath.Base(d.path), err)
 	}
 	for i := range ps {
 		copy(ps[i][:], buf[i*page.Size:])
@@ -187,7 +198,7 @@ func (d *Disk) WritePage(id page.ID, p *page.Page) error {
 		return err
 	}
 	_, err := d.f.WriteAt(p[:], int64(id)*page.Size)
-	return err
+	return d.wrap("write", id, err)
 }
 
 // Allocate implements File.
@@ -196,7 +207,7 @@ func (d *Disk) Allocate() (page.ID, error) {
 	defer d.mu.Unlock()
 	var zero page.Page
 	if _, err := d.f.WriteAt(zero[:], int64(d.n)*page.Size); err != nil {
-		return page.Nil, err
+		return page.Nil, d.wrap("allocate", page.ID(d.n), err)
 	}
 	d.n++
 	return page.ID(d.n - 1), nil
@@ -214,11 +225,16 @@ func (d *Disk) Truncate() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if err := d.f.Truncate(0); err != nil {
-		return err
+		return fmt.Errorf("storage: truncate %s: %w", filepath.Base(d.path), err)
 	}
 	d.n = 0
 	return nil
 }
 
 // Close implements File.
-func (d *Disk) Close() error { return d.f.Close() }
+func (d *Disk) Close() error {
+	if err := d.f.Close(); err != nil {
+		return fmt.Errorf("storage: close %s: %w", filepath.Base(d.path), err)
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ package tquel
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"tdbms/internal/tuple"
@@ -355,11 +356,11 @@ func (s *CopyStmt) String() string {
 	if s.Into {
 		dir = "into"
 	}
-	return fmt.Sprintf("copy %s () %s %q", s.Rel, dir, s.File)
+	return fmt.Sprintf("copy %s () %s %s", s.Rel, dir, quote(s.File))
 }
 
 func (s *IndexStmt) String() string {
-	return fmt.Sprintf("index on %s is %s (%s) with structure = %s, levels = %d",
+	return fmt.Sprintf("index on %s is %s (%s) with structure = %s with levels = %d",
 		s.Rel, s.Name, s.Attr, s.Structure, s.Levels)
 }
 
@@ -377,9 +378,31 @@ func (a *AsOfClause) String() string {
 	return fmt.Sprintf("as of %s", a.At)
 }
 
+// quote renders a string constant the way the lexer reads one: backslash
+// escapes only the next byte, so only `"` and `\` need escaping and every
+// other byte is written raw. Go's %q would emit \n, \xNN, and friends, which
+// the lexer reads back as the literal bytes 'n', 'x', '4'...
+func quote(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' || s[i] == '\\' {
+			b.WriteByte('\\')
+		}
+		b.WriteByte(s[i])
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
 func (e *ConstExpr) String() string {
-	if e.Val.Kind == tuple.Char {
-		return fmt.Sprintf("%q", e.Val.S)
+	switch e.Val.Kind {
+	case tuple.Char:
+		return quote(e.Val.S)
+	case tuple.F4, tuple.F8:
+		// The number grammar has no exponent form, so scientific notation
+		// (the default for large values) would not re-parse.
+		return strconv.FormatFloat(e.Val.F, 'f', -1, 64)
 	}
 	return e.Val.String()
 }
@@ -409,7 +432,7 @@ func (e *AggExpr) String() string {
 }
 
 func (e *TVar) String() string   { return e.Var }
-func (e *TConst) String() string { return fmt.Sprintf("%q", e.Text) }
+func (e *TConst) String() string { return quote(e.Text) }
 
 func (e *TUnary) String() string {
 	if e.Op == "not" {

@@ -85,12 +85,16 @@ func (l *lexer) skipSpace() {
 	}
 }
 
+// Identifiers are ASCII. The lexer walks bytes, so a byte-at-a-time rune
+// conversion would read high bytes as Latin-1 letters — and the ToLower in
+// lexIdent would then fold the invalid UTF-8 into U+FFFD, producing a token
+// that no longer matches the input.
 func isIdentStart(r rune) bool {
-	return r == '_' || unicode.IsLetter(r)
+	return r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
 }
 
 func isIdentPart(r rune) bool {
-	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+	return isIdentStart(r) || (r >= '0' && r <= '9')
 }
 
 func (l *lexer) lexIdent(start int) {
