@@ -30,6 +30,12 @@ type Analyzer struct {
 	// Run inspects one type-checked package and reports violations via
 	// pass.Report.
 	Run func(pass *Pass)
+	// Finish, when set, runs once after every package has been analyzed.
+	// It sees all loaded packages plus the fact store, and is where
+	// whole-module properties (the latchorder lock-order graph) are
+	// judged. Finish diagnostics go through the same //tdbvet:ignore
+	// filtering as Run diagnostics.
+	Finish func(pass *FinishPass)
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -38,6 +44,9 @@ type Pass struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Facts is the shared cross-package fact store (nil outside the
+	// driver; ExportFact/ImportFact degrade to no-ops).
+	Facts *Facts
 
 	analyzer *Analyzer
 	diags    *[]Diagnostic
@@ -67,13 +76,15 @@ func (d Diagnostic) String() string {
 
 // RunAnalyzer applies one analyzer to a loaded package and returns its
 // diagnostics sorted by position, with //tdbvet:ignore directives applied.
-func RunAnalyzer(a *Analyzer, pkg *Package) []Diagnostic {
+// facts may be nil for single-package runs (fixture tests).
+func RunAnalyzer(a *Analyzer, pkg *Package, facts *Facts) []Diagnostic {
 	var diags []Diagnostic
 	pass := &Pass{
 		Fset:     pkg.Fset,
 		Files:    pkg.Files,
 		Pkg:      pkg.Types,
 		Info:     pkg.Info,
+		Facts:    facts,
 		analyzer: a,
 		diags:    &diags,
 	}
@@ -82,6 +93,55 @@ func RunAnalyzer(a *Analyzer, pkg *Package) []Diagnostic {
 	sortDiagnostics(diags)
 	return diags
 }
+
+// FinishPass carries the whole analyzed module through one analyzer's
+// Finish hook.
+type FinishPass struct {
+	Fset *token.FileSet
+	// Packages holds every package the driver loaded, sorted by import
+	// path, so Finish iterates deterministically.
+	Packages []*Package
+	Facts    *Facts
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Report records a whole-module diagnostic at pos.
+func (p *FinishPass) Report(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:    p.analyzer.Name,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunFinish applies one analyzer's Finish hook over all loaded packages,
+// filtering the diagnostics through every package's ignore directives.
+func RunFinish(a *Analyzer, fset *token.FileSet, pkgs []*Package, facts *Facts) []Diagnostic {
+	if a.Finish == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	pass := &FinishPass{
+		Fset:     fset,
+		Packages: pkgs,
+		Facts:    facts,
+		analyzer: a,
+		diags:    &diags,
+	}
+	a.Finish(pass)
+	for _, pkg := range pkgs {
+		diags = filterIgnored(pkg, diags)
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// SortDiagnostics orders diagnostics by position then check name — the
+// canonical presentation order, applied whenever streams from multiple
+// passes (or packages) are merged.
+func SortDiagnostics(diags []Diagnostic) { sortDiagnostics(diags) }
 
 func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {

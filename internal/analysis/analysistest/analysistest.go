@@ -59,8 +59,14 @@ func Diagnostics(t *testing.T, a *analysis.Analyzer, fixture string) []string {
 	if err != nil {
 		t.Fatalf("type-checking fixture %s: %v", fixture, err)
 	}
+	facts := analysis.NewFacts()
+	diags := analysis.RunAnalyzer(a, pkg, facts)
+	// Interprocedural analyzers judge whole-module properties in Finish;
+	// over a single fixture package that is the fixture itself.
+	diags = append(diags, analysis.RunFinish(a, loader.Fset, []*analysis.Package{pkg}, facts)...)
+	analysis.SortDiagnostics(diags)
 	var out []string
-	for _, d := range analysis.RunAnalyzer(a, pkg) {
+	for _, d := range diags {
 		d.Position.Filename = filepath.Base(d.Position.Filename)
 		out = append(out, d.String())
 	}

@@ -1,0 +1,132 @@
+package callgraph_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tdbms/internal/analysis"
+	"tdbms/internal/analysis/callgraph"
+)
+
+func loadFixture(t *testing.T) *analysis.Package {
+	t.Helper()
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("finding module root: %v", err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatalf("building loader: %v", err)
+	}
+	abs, err := filepath.Abs("testdata/sample.go")
+	if err != nil {
+		t.Fatalf("resolving fixture: %v", err)
+	}
+	pkg, err := loader.LoadFiles("fixture", abs)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	return pkg
+}
+
+// TestFunctions pins body enumeration: declarations under their
+// ObjectKey, literals under "<enclosing>$litN" with nesting.
+func TestFunctions(t *testing.T) {
+	pkg := loadFixture(t)
+	var keys []string
+	for _, fn := range callgraph.Functions(pkg.Files, pkg.Info) {
+		keys = append(keys, fn.Key)
+	}
+	want := []string{
+		"fixture.(memStore).ReadPage",
+		"fixture.(diskStore).ReadPage",
+		"fixture.helper",
+		"fixture.top",
+		"fixture.withLits",
+		"fixture.withLits$lit1",
+		"fixture.withLits$lit1$lit1",
+	}
+	if len(keys) != len(want) {
+		t.Fatalf("got %d functions %v, want %d", len(keys), keys, len(want))
+	}
+	seen := map[string]bool{}
+	for _, k := range keys {
+		seen[k] = true
+	}
+	for _, w := range want {
+		if !seen[w] {
+			t.Errorf("missing function node %q in %v", w, keys)
+		}
+	}
+}
+
+// TestBuildEdges pins static-call resolution: package functions,
+// interface method callees, and literal-attributed calls.
+func TestBuildEdges(t *testing.T) {
+	pkg := loadFixture(t)
+	g := callgraph.New()
+	g.Build(pkg.Files, pkg.Info)
+
+	hasEdge := func(caller, callee string) bool {
+		for _, e := range g.Edges(caller) {
+			if e.Callee == callee {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasEdge("fixture.top", "fixture.helper") {
+		t.Errorf("missing static edge top -> helper: %v", g.Edges("fixture.top"))
+	}
+	if !hasEdge("fixture.top", "fixture.(Reader).ReadPage") {
+		t.Errorf("missing interface-method edge top -> Reader.ReadPage: %v", g.Edges("fixture.top"))
+	}
+	// helper() inside the innermost literal belongs to the literal's
+	// node, not to withLits.
+	if hasEdge("fixture.withLits", "fixture.helper") {
+		t.Errorf("literal call wrongly attributed to enclosing function")
+	}
+	if !hasEdge("fixture.withLits$lit1$lit1", "fixture.helper") {
+		t.Errorf("missing literal edge lit1$lit1 -> helper: %v", g.Edges("fixture.withLits$lit1$lit1"))
+	}
+}
+
+// TestResolveInterfaces pins class-hierarchy resolution: the interface
+// method links to every implementing concrete method, and reachability
+// flows through the added edges.
+func TestResolveInterfaces(t *testing.T) {
+	pkg := loadFixture(t)
+	g := callgraph.New()
+	g.Build(pkg.Files, pkg.Info)
+	g.ResolveInterfaces([]*analysis.Package{pkg})
+
+	var impls []string
+	for _, e := range g.Edges("fixture.(Reader).ReadPage") {
+		if !e.ViaInterface {
+			t.Errorf("edge %v from interface method not marked ViaInterface", e)
+		}
+		impls = append(impls, e.Callee)
+	}
+	want := map[string]bool{
+		"fixture.(memStore).ReadPage":  true,
+		"fixture.(diskStore).ReadPage": true,
+	}
+	if len(impls) != len(want) {
+		t.Fatalf("got implementations %v, want both stores", impls)
+	}
+	for _, k := range impls {
+		if !want[k] {
+			t.Errorf("unexpected implementation %q", k)
+		}
+	}
+
+	reach := g.Reachable("fixture.top")
+	for _, k := range []string{"fixture.helper", "fixture.(memStore).ReadPage", "fixture.(diskStore).ReadPage"} {
+		if !reach[k] {
+			t.Errorf("%q not reachable from top through interface dispatch", k)
+		}
+	}
+	if reach["fixture.withLits"] {
+		t.Errorf("withLits should not be reachable from top")
+	}
+}

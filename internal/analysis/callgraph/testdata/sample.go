@@ -1,0 +1,30 @@
+// Fixture for the callgraph unit tests: static calls, method calls,
+// interface dispatch, and nested function literals.
+package fixture
+
+type Reader interface {
+	ReadPage(n int) []byte
+}
+
+type memStore struct{}
+
+func (m *memStore) ReadPage(n int) []byte { return nil }
+
+type diskStore struct{}
+
+func (d *diskStore) ReadPage(n int) []byte { return nil }
+
+func helper() int { return 1 }
+
+func top(r Reader) {
+	helper()
+	r.ReadPage(0)
+}
+
+func withLits() {
+	f := func() int {
+		inner := func() int { return helper() }
+		return inner()
+	}
+	f()
+}

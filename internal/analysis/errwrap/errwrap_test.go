@@ -1,0 +1,16 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"tdbms/internal/analysis/analysistest"
+	"tdbms/internal/analysis/errwrap"
+)
+
+func TestViolating(t *testing.T) {
+	analysistest.Run(t, errwrap.Analyzer, "testdata/violating.go")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, errwrap.Analyzer, "testdata/clean.go")
+}

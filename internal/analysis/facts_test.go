@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"sync"
+	"testing"
+)
+
+// TestFactsRoundTrip: what one package's pass exports, a later pass (any
+// goroutine) imports unchanged, namespaced per analyzer.
+func TestFactsRoundTrip(t *testing.T) {
+	f := NewFacts()
+	f.export("errwrap", "pkg.Fn", []bool{true, false})
+	f.export("latchorder", "pkg.Fn", "unrelated")
+
+	v, ok := f.Get("errwrap", "pkg.Fn")
+	if !ok {
+		t.Fatal("fact lost")
+	}
+	tainted, ok := v.([]bool)
+	if !ok || len(tainted) != 2 || !tainted[0] || tainted[1] {
+		t.Fatalf("fact mutated in the store: %#v", v)
+	}
+	if v, _ := f.Get("latchorder", "pkg.Fn"); v != "unrelated" {
+		t.Fatalf("analyzer namespaces collided: %#v", v)
+	}
+	if _, ok := f.Get("errwrap", "pkg.Other"); ok {
+		t.Fatal("lookup of an absent key succeeded")
+	}
+}
+
+// TestFactsKeysSorted: Finish passes iterate Keys for deterministic
+// output, so the listing must be sorted and namespace-filtered.
+func TestFactsKeysSorted(t *testing.T) {
+	f := NewFacts()
+	f.export("a", "z", 1)
+	f.export("a", "m", 2)
+	f.export("a", "b", 3)
+	f.export("other", "a", 4)
+	keys := f.Keys("a")
+	if len(keys) != 3 || keys[0] != "b" || keys[1] != "m" || keys[2] != "z" {
+		t.Fatalf("Keys = %v, want [b m z]", keys)
+	}
+}
+
+// TestFactsConcurrent: the package-parallel driver exports facts from
+// many goroutines at once; run under -race this is the store's safety
+// proof.
+func TestFactsConcurrent(t *testing.T) {
+	f := NewFacts()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("pkg%d.fn%d", g, i)
+				f.export("check", key, i)
+				if v, ok := f.Get("check", key); !ok || v != i {
+					t.Errorf("lost own write for %s", key)
+				}
+				f.Keys("check")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(f.Keys("check")); got != 800 {
+		t.Fatalf("got %d keys, want 800", got)
+	}
+}
+
+// TestObjectKeyShapes: the canonical key must collapse pointer and value
+// receivers onto one spelling, so facts exported against (*T).M are
+// found from a T.M call site and vice versa.
+func TestObjectKeyShapes(t *testing.T) {
+	pkg := types.NewPackage("example.com/p", "p")
+	sig := types.NewSignatureType(nil, nil, nil, nil, nil, false)
+	if got := ObjectKey(types.NewFunc(token.NoPos, pkg, "F", sig)); got != "example.com/p.F" {
+		t.Errorf("plain func key = %q", got)
+	}
+
+	named := types.NewNamed(types.NewTypeName(token.NoPos, pkg, "T", nil), types.NewStruct(nil, nil), nil)
+	valRecv := types.NewVar(token.NoPos, pkg, "t", named)
+	ptrRecv := types.NewVar(token.NoPos, pkg, "t", types.NewPointer(named))
+	valKey := ObjectKey(types.NewFunc(token.NoPos, pkg, "M",
+		types.NewSignatureType(valRecv, nil, nil, nil, nil, false)))
+	ptrKey := ObjectKey(types.NewFunc(token.NoPos, pkg, "M",
+		types.NewSignatureType(ptrRecv, nil, nil, nil, nil, false)))
+	if valKey != ptrKey {
+		t.Errorf("receiver keys differ: %q vs %q", valKey, ptrKey)
+	}
+	if valKey != "example.com/p.(T).M" {
+		t.Errorf("method key = %q, want example.com/p.(T).M", valKey)
+	}
+	if ObjectKey(nil) != "" {
+		t.Error("nil object should key to the empty string")
+	}
+}
+
+// TestPassFactNilStore: analyzers run fine without a store (the
+// single-fixture analysistest path predates facts) — exports are no-ops
+// and imports miss.
+func TestPassFactNilStore(t *testing.T) {
+	p := &Pass{analyzer: &Analyzer{Name: "x"}}
+	p.ExportFactKey("k", 1)
+	if _, ok := p.ImportFactKey("k"); ok {
+		t.Fatal("nil store returned a fact")
+	}
+}

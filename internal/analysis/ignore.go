@@ -49,7 +49,9 @@ func directivesIn(pkg *Package) []directive {
 }
 
 // filterIgnored drops diagnostics covered by a well-formed ignore
-// directive on the same line or the line immediately above.
+// directive on the same line or the line immediately above, and records
+// which directives actually suppressed something (UnusedDirectives
+// reports the rest).
 func filterIgnored(pkg *Package, diags []Diagnostic) []Diagnostic {
 	dirs := directivesIn(pkg)
 	if len(dirs) == 0 {
@@ -62,15 +64,47 @@ func filterIgnored(pkg *Package, diags []Diagnostic) []Diagnostic {
 		}
 		covered[coverKey(d.pos.Filename, d.pos.Line, d.check)] = true
 	}
+	if pkg.usedDirectives == nil {
+		pkg.usedDirectives = map[string]bool{}
+	}
 	var out []Diagnostic
 	for _, diag := range diags {
 		p := diag.Position
-		if covered[coverKey(p.Filename, p.Line, diag.Check)] ||
-			covered[coverKey(p.Filename, p.Line-1, diag.Check)] {
+		if key := coverKey(p.Filename, p.Line, diag.Check); covered[key] {
+			pkg.usedDirectives[key] = true
+			continue
+		}
+		if key := coverKey(p.Filename, p.Line-1, diag.Check); covered[key] {
+			pkg.usedDirectives[key] = true
 			continue
 		}
 		out = append(out, diag)
 	}
+	return out
+}
+
+// UnusedDirectives reports well-formed ignore directives that suppressed
+// no diagnostic of any analyzer that ran on the package — a stale
+// exception is as misleading as a missing one. ran maps the check names
+// that were actually applied to this package; directives for checks that
+// were not run (a -checks subset, an out-of-scope analyzer) are left
+// alone. Call after every RunAnalyzer for the package.
+func UnusedDirectives(pkg *Package, ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range directivesIn(pkg) {
+		if d.check == "" || d.reason == "" || !ran[d.check] {
+			continue
+		}
+		if pkg.usedDirectives[coverKey(d.pos.Filename, d.pos.Line, d.check)] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Check:    "directive",
+			Position: d.pos,
+			Message:  "unused //tdbvet:ignore " + d.check + ": no diagnostic suppressed (stale exception?)",
+		})
+	}
+	sortDiagnostics(out)
 	return out
 }
 

@@ -1,0 +1,266 @@
+package latchorder
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+
+	"tdbms/internal/analysis"
+	"tdbms/internal/analysis/callgraph"
+)
+
+// finish folds the per-function facts into the whole-module judgement:
+// it links interface calls to their implementations, propagates
+// held-latch sets through the call graph to a fixpoint, derives the
+// global lock-order graph, and reports order cycles and statement-lock
+// blocking.
+func finish(pass *analysis.FinishPass) {
+	facts, edges := assemble(pass)
+	heldInto := propagate(edges, facts, false)
+	heldIntoND := propagate(edges, facts, true)
+	reportCycles(pass, facts, heldInto)
+	reportBlocking(pass, facts, heldIntoND)
+}
+
+// propEdge carries held classes from a caller into a callee.
+type propEdge struct {
+	from, to string
+	held     []string
+}
+
+// assemble rebuilds the module view from the fact store: the function
+// summaries and the propagation edges (static calls, interface
+// dispatch, and the funclit-at-callsite approximation).
+func assemble(pass *analysis.FinishPass) (map[string]*FnFact, []propEdge) {
+	facts := map[string]*FnFact{}
+	var edges []propEdge
+	for _, key := range pass.Facts.Keys(name) {
+		v, _ := pass.Facts.Get(name, key)
+		switch {
+		case strings.HasPrefix(key, "fn:"):
+			fact, ok := v.(*FnFact)
+			if !ok {
+				continue
+			}
+			facts[fact.Key] = fact
+		case strings.HasPrefix(key, "iface:"):
+			f, ok := v.(ifaceFact)
+			if !ok {
+				continue
+			}
+			ifaceKey := strings.TrimPrefix(key, "iface:")
+			for _, impl := range callgraph.Implementations(f.m, pass.Packages) {
+				edges = append(edges, propEdge{from: ifaceKey, to: impl.Key})
+			}
+		}
+	}
+	keys := make([]string, 0, len(facts))
+	for k := range facts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fact := facts[k]
+		for _, c := range fact.Calls {
+			edges = append(edges, propEdge{from: k, to: c.Op, held: c.Held})
+		}
+		// A literal passed as an argument is approximated as invoked by
+		// the callee with the callee's own direct acquisitions held — the
+		// Conn.run(fn) shape. If the callee has no summary (stdlib, e.g.
+		// sort.Slice), the bare edge still forwards whatever the callee
+		// node inherits from its call sites, which models a synchronous
+		// callback faithfully.
+		for _, l := range fact.Lits {
+			edges = append(edges, propEdge{from: l.Callee, to: l.Lit, held: directClasses(facts[l.Callee])})
+		}
+	}
+	return facts, edges
+}
+
+// directClasses lists the classes a function acquires directly.
+func directClasses(fact *FnFact) []string {
+	if fact == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range fact.Acquires {
+		if !seen[a.Class] {
+			seen[a.Class] = true
+			out = append(out, a.Class)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// propagate computes heldInto: for every node, the set of latch classes
+// some caller chain holds when control reaches it. With cutDesignated,
+// edges leaving a designated flush path contribute nothing — those
+// chains are sanctioned for the blocking rule (but still count for lock
+// ordering, which designation does not excuse).
+func propagate(edges []propEdge, facts map[string]*FnFact, cutDesignated bool) map[string]map[string]bool {
+	heldInto := map[string]map[string]bool{}
+	add := func(node, class string) bool {
+		m := heldInto[node]
+		if m == nil {
+			m = map[string]bool{}
+			heldInto[node] = m
+		}
+		if m[class] {
+			return false
+		}
+		m[class] = true
+		return true
+	}
+	// The least fixpoint is unique, so iteration order only affects how
+	// many rounds we take, not the result.
+	for changed := true; changed; {
+		changed = false
+		for _, e := range edges {
+			if cutDesignated {
+				if f := facts[e.from]; f != nil && f.Designated {
+					continue
+				}
+			}
+			for _, c := range e.held {
+				if add(e.to, c) {
+					changed = true
+				}
+			}
+			for c := range heldInto[e.from] {
+				if add(e.to, c) {
+					changed = true
+				}
+			}
+		}
+	}
+	return heldInto
+}
+
+// ordEdge is one lock-order edge: to is acquired while from is held,
+// first witnessed at pos.
+type ordEdge struct {
+	from, to string
+	pos      token.Pos
+}
+
+// orderEdges derives the global lock-order graph: for every direct
+// acquisition, an edge from each class held at that moment (locally or
+// inherited from callers) to the acquired class. Same-class nesting is
+// skipped: the classing is instance-blind, so a -> a says nothing.
+func orderEdges(facts map[string]*FnFact, heldInto map[string]map[string]bool) []ordEdge {
+	keys := make([]string, 0, len(facts))
+	for k := range facts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	seen := map[[2]string]bool{}
+	var out []ordEdge
+	for _, k := range keys {
+		for _, a := range facts[k].Acquires {
+			held := map[string]bool{}
+			for _, h := range a.Held {
+				held[h] = true
+			}
+			for h := range heldInto[k] {
+				held[h] = true
+			}
+			hs := make([]string, 0, len(held))
+			for h := range held {
+				hs = append(hs, h)
+			}
+			sort.Strings(hs)
+			for _, h := range hs {
+				if h == a.Class {
+					continue
+				}
+				pair := [2]string{h, a.Class}
+				if seen[pair] {
+					continue
+				}
+				seen[pair] = true
+				out = append(out, ordEdge{from: h, to: a.Class, pos: a.Pos})
+			}
+		}
+	}
+	return out
+}
+
+// reportCycles reports every lock-order edge that participates in a
+// cycle, at the acquisition site that witnessed it.
+func reportCycles(pass *analysis.FinishPass, facts map[string]*FnFact, heldInto map[string]map[string]bool) {
+	edges := orderEdges(facts, heldInto)
+	adj := map[string][]string{}
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	for _, e := range edges {
+		if path := pathBetween(adj, e.to, e.from); path != nil {
+			cycle := append([]string{e.from}, path...)
+			pass.Report(e.pos, "latch order cycle: %s acquired while %s is held, closing the cycle %s",
+				e.to, e.from, strings.Join(cycle, " -> "))
+		}
+	}
+}
+
+// pathBetween finds a path from src to dst in adj (depth-first,
+// deterministic because successor lists follow sorted edge insertion),
+// returning the nodes after src, or nil.
+func pathBetween(adj map[string][]string, src, dst string) []string {
+	seen := map[string]bool{}
+	var walk func(n string) []string
+	walk = func(n string) []string {
+		if n == dst {
+			return []string{n}
+		}
+		if seen[n] {
+			return nil
+		}
+		seen[n] = true
+		for _, next := range adj[n] {
+			if rest := walk(next); rest != nil {
+				return append([]string{n}, rest...)
+			}
+		}
+		return nil
+	}
+	return walk(src)
+}
+
+// reportBlocking reports direct blocking operations reachable with the
+// session statement lock held through non-designated chains.
+func reportBlocking(pass *analysis.FinishPass, facts map[string]*FnFact, heldIntoND map[string]map[string]bool) {
+	keys := make([]string, 0, len(facts))
+	for k := range facts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fact := facts[k]
+		if fact.Designated {
+			continue
+		}
+		for _, b := range fact.Blocks {
+			held := map[string]bool{}
+			for _, h := range b.Held {
+				held[h] = true
+			}
+			for h := range heldIntoND[k] {
+				held[h] = true
+			}
+			var stmt []string
+			for h := range held {
+				if stmtClasses[h] {
+					stmt = append(stmt, h)
+				}
+			}
+			if len(stmt) == 0 {
+				continue
+			}
+			sort.Strings(stmt)
+			pass.Report(b.Pos, "blocking I/O (%s) reachable while the statement lock (%s) is held; move it off the statement path or mark the flush path with //tdbvet:flushpath",
+				b.Op, strings.Join(stmt, ", "))
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package latchorder_test
+
+import (
+	"testing"
+
+	"tdbms/internal/analysis/analysistest"
+	"tdbms/internal/analysis/latchorder"
+)
+
+func TestViolating(t *testing.T) {
+	analysistest.Run(t, latchorder.Analyzer, "testdata/violating.go")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, latchorder.Analyzer, "testdata/clean.go")
+}

@@ -1,0 +1,267 @@
+// Package latchorder is the interprocedural latch-discipline check: it
+// computes, for every function in the module, which of the engine's
+// latches are held at each call site, propagates those sets through the
+// approximate call graph, and rejects
+//
+//  1. cycles in the resulting lock-order graph — two code paths that
+//     acquire the same pair of latches in opposite orders can deadlock
+//     the moment the multi-writer MVCC work makes them concurrent; and
+//  2. blocking I/O (file opens, fsync-class operations, file removal)
+//     reachable while the session statement lock is held, outside the
+//     designated flush paths.
+//
+// Tracked latch classes are the repo's real guards, matched by owning
+// type and field name:
+//
+//	Conn.mu      the per-session statement lock
+//	Database.rw  the single-writer/multi-reader database lock
+//	pool.mu      the buffer-pool frame latch
+//	Mem.mu/Disk.mu  the storage backend latches (one class, "storage.mu")
+//	Schedule.mu  the fault-schedule latch
+//
+// Per-package, the Run pass walks each function with the lockflow
+// simulator and exports a fact: direct acquisitions (with the classes
+// held at that moment), resolvable call sites (with held classes),
+// direct blocking operations, and function literals passed as call
+// arguments. The Finish pass runs once after every package: it links
+// interface-method calls to their concrete implementations by method-set
+// matching, propagates held-latch sets to a fixpoint, derives the global
+// lock-order graph, and reports cycles and statement-lock blocking.
+//
+// A function that legitimately performs blocking I/O under the statement
+// lock — DDL creating relation files, checkpoint/close flushing and
+// syncing — is designated in source with a directive comment on its
+// declaration:
+//
+//	//tdbvet:flushpath <reason>
+//
+// Designation stops statement-lock propagation through that function's
+// calls and silences its own blocking sites; like //tdbvet:ignore, the
+// mandatory reason keeps every exception visible in review.
+//
+// Function literals passed as arguments are approximated as "invoked by
+// the callee while holding the callee's direct acquisitions" — exactly
+// the Conn.run(fn) shape the statement path uses — so execution under
+// the statement lock is visible to the analysis even though the call of
+// fn itself is dynamic.
+package latchorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"tdbms/internal/analysis"
+	"tdbms/internal/analysis/callgraph"
+	"tdbms/internal/analysis/lockflow"
+)
+
+// name is the check name, shared with the Finish pass's fact lookups.
+const name = "latchorder"
+
+// Analyzer is the latch-discipline check.
+var Analyzer = &analysis.Analyzer{
+	Name:   name,
+	Doc:    "no lock-order cycles among engine latches; no blocking I/O under the statement lock outside designated flush paths",
+	Run:    run,
+	Finish: finish,
+}
+
+// classes maps "OwnerType.field" of a tracked latch to its class label.
+// Matching is package-blind (the repo has one engine; fixtures reuse the
+// type names), and both storage backends share one class: they are the
+// same rank in the latch order.
+var classes = map[string]string{
+	"Conn.mu":     "conn.mu",
+	"Database.rw": "db.rw",
+	"pool.mu":     "buffer.pool.mu",
+	"Mem.mu":      "storage.mu",
+	"Disk.mu":     "storage.mu",
+	"Schedule.mu": "faultfs.mu",
+}
+
+// stmtClasses are the session statement lock: blocking I/O under either
+// side is what rule 2 polices.
+var stmtClasses = map[string]bool{"conn.mu": true, "db.rw": true}
+
+// blockingOps are the blocking operations of rule 2, by callee
+// ObjectKey: filesystem metadata operations and fsync-class calls. Page
+// ReadAt/WriteAt are deliberately absent — paged I/O under the buffer
+// latch is the engine's designated duty cycle, and rule 1 covers its
+// ordering.
+var blockingOps = map[string]bool{
+	"os.OpenFile":        true,
+	"os.Open":            true,
+	"os.Create":          true,
+	"os.ReadFile":        true,
+	"os.WriteFile":       true,
+	"os.Remove":          true,
+	"os.RemoveAll":       true,
+	"os.Rename":          true,
+	"os.MkdirAll":        true,
+	"os.ReadDir":         true,
+	"os.(File).Sync":     true,
+	"os.(File).Close":    true,
+	"os.(File).Truncate": true,
+}
+
+// flushDirective designates a function as a sanctioned flush path.
+const flushDirective = "//tdbvet:flushpath"
+
+// FnFact is the per-function summary exported to the fact store.
+type FnFact struct {
+	Key        string
+	Designated bool      // carries a //tdbvet:flushpath directive
+	Acquires   []Acquire // direct latch acquisitions
+	Calls      []Site    // resolvable call sites (callee key in Op)
+	Blocks     []Site    // direct blocking operations (op key in Op)
+	Lits       []LitCall // function literals passed as arguments
+}
+
+// Acquire is one direct latch acquisition.
+type Acquire struct {
+	Class string
+	Pos   token.Pos
+	Held  []string // classes held just before
+}
+
+// Site is one call site: Op is the callee's ObjectKey (Calls) or the
+// blocking operation's key (Blocks).
+type Site struct {
+	Op   string
+	Pos  token.Pos
+	Held []string
+}
+
+// LitCall records a function literal passed as an argument: Lit is the
+// literal's node key, Callee the receiving function.
+type LitCall struct {
+	Lit    string
+	Callee string
+	Pos    token.Pos
+}
+
+// ifaceFact retains the *types.Func of an interface method that appears
+// as a callee, for method-set resolution in Finish. Safe to hold: the
+// whole analysis shares one loader session.
+type ifaceFact struct {
+	m *types.Func
+}
+
+func run(pass *analysis.Pass) {
+	fns := callgraph.Functions(pass.Files, pass.Info)
+	litKeys := map[*ast.FuncLit]string{}
+	for _, fn := range fns {
+		if fn.Lit != nil {
+			litKeys[fn.Lit] = fn.Key
+		}
+	}
+	for _, fn := range fns {
+		fact := &FnFact{Key: fn.Key, Designated: designated(pass, fn.Decl)}
+		lockflow.Walk(fn.Body, &lockflow.Callbacks{
+			LockName: func(recv ast.Expr) (string, bool) {
+				return classFor(pass.Info, recv)
+			},
+			OnAcquire: func(name string, mode lockflow.Mode, pos token.Pos, heldBefore []lockflow.Held) {
+				fact.Acquires = append(fact.Acquires, Acquire{
+					Class: name, Pos: pos, Held: classSet(heldBefore),
+				})
+			},
+			OnCall: func(call *ast.CallExpr, held []lockflow.Held) {
+				callee := callgraph.Callee(pass.Info, call)
+				if callee == nil {
+					return
+				}
+				key := analysis.ObjectKey(callee)
+				hs := classSet(held)
+				fact.Calls = append(fact.Calls, Site{Op: key, Pos: call.Pos(), Held: hs})
+				if blockingOps[key] {
+					fact.Blocks = append(fact.Blocks, Site{Op: key, Pos: call.Pos(), Held: hs})
+				}
+				if interfaceOf(callee) != nil {
+					pass.ExportFactKey("iface:"+key, ifaceFact{callee})
+				}
+				for _, arg := range call.Args {
+					if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+						if lk, ok := litKeys[lit]; ok {
+							fact.Lits = append(fact.Lits, LitCall{Lit: lk, Callee: key, Pos: call.Pos()})
+						}
+					}
+				}
+			},
+		})
+		pass.ExportFactKey("fn:"+fn.Key, fact)
+	}
+}
+
+// designated reports whether the declaration carries a well-formed
+// flushpath directive. A reasonless directive is reported and ignored.
+func designated(pass *analysis.Pass, decl *ast.FuncDecl) bool {
+	if decl == nil || decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if !strings.HasPrefix(c.Text, flushDirective) {
+			continue
+		}
+		if strings.TrimSpace(strings.TrimPrefix(c.Text, flushDirective)) == "" {
+			pass.Report(c.Pos(), "flushpath directive needs a reason: \"//tdbvet:flushpath <why this path may block under the statement lock>\"")
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// classFor resolves a lock receiver expression ("c.mu", "db.rw") to its
+// latch class: the receiver must be a field selection whose owner type
+// and field name are in the classes table.
+func classFor(info *types.Info, recv ast.Expr) (string, bool) {
+	sel, ok := ast.Unparen(recv).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	t := tv.Type
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	class, ok := classes[named.Obj().Name()+"."+sel.Sel.Name]
+	return class, ok
+}
+
+// classSet extracts the sorted, deduplicated class names of a held set.
+func classSet(held []lockflow.Held) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, h := range held {
+		if !seen[h.Name] {
+			seen[h.Name] = true
+			out = append(out, h.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func interfaceOf(f *types.Func) *types.Interface {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	iface, _ := sig.Recv().Type().Underlying().(*types.Interface)
+	return iface
+}

@@ -1,0 +1,98 @@
+package latchorder
+
+import (
+	"testing"
+)
+
+// TestOrderEdges exercises lock-order graph construction directly: local
+// held sets and caller-inherited sets both induce edges, same-class
+// nesting is skipped, and duplicate pairs keep their first witness.
+func TestOrderEdges(t *testing.T) {
+	facts := map[string]*FnFact{
+		"p.run": {
+			Key: "p.run",
+			Acquires: []Acquire{
+				{Class: "conn.mu", Pos: 10},
+				{Class: "db.rw", Pos: 20, Held: []string{"conn.mu"}},
+			},
+		},
+		"p.fetch": {
+			Key:      "p.fetch",
+			Acquires: []Acquire{{Class: "storage.mu", Pos: 30}},
+		},
+		"p.dup": {
+			Key:      "p.dup",
+			Acquires: []Acquire{{Class: "db.rw", Pos: 40, Held: []string{"conn.mu"}}},
+		},
+		"p.nest": {
+			Key:      "p.nest",
+			Acquires: []Acquire{{Class: "storage.mu", Pos: 50, Held: []string{"storage.mu"}}},
+		},
+	}
+	heldInto := map[string]map[string]bool{
+		"p.fetch": {"buffer.pool.mu": true},
+	}
+	edges := orderEdges(facts, heldInto)
+	// Functions are folded in sorted key order, so "p.dup" witnesses the
+	// conn.mu -> db.rw pair before "p.run" does.
+	want := []ordEdge{
+		{from: "buffer.pool.mu", to: "storage.mu", pos: 30},
+		{from: "conn.mu", to: "db.rw", pos: 40},
+	}
+	if len(edges) != len(want) {
+		t.Fatalf("got %d edges %v, want %d", len(edges), edges, len(want))
+	}
+	seen := map[ordEdge]bool{}
+	for _, e := range edges {
+		seen[e] = true
+	}
+	for _, w := range want {
+		if !seen[w] {
+			t.Errorf("missing edge %v in %v", w, edges)
+		}
+	}
+}
+
+// TestPropagate exercises held-set propagation: transitive inheritance
+// through call chains, and the designated cut that stops statement-lock
+// flow through flush paths.
+func TestPropagate(t *testing.T) {
+	facts := map[string]*FnFact{
+		"p.flush": {Key: "p.flush", Designated: true},
+	}
+	edges := []propEdge{
+		{from: "p.a", to: "p.b", held: []string{"conn.mu"}},
+		{from: "p.b", to: "p.c"},
+		{from: "p.flush", to: "p.d", held: []string{"db.rw"}},
+	}
+	full := propagate(edges, facts, false)
+	if !full["p.c"]["conn.mu"] {
+		t.Errorf("conn.mu did not propagate transitively to p.c: %v", full)
+	}
+	if !full["p.d"]["db.rw"] {
+		t.Errorf("full propagation must ignore designation: %v", full)
+	}
+	nd := propagate(edges, facts, true)
+	if nd["p.d"]["db.rw"] {
+		t.Errorf("designated cut failed: p.d inherited db.rw via flush path: %v", nd)
+	}
+	if !nd["p.c"]["conn.mu"] {
+		t.Errorf("non-designated chain must still propagate: %v", nd)
+	}
+}
+
+// TestPathBetween pins the cycle-witness search.
+func TestPathBetween(t *testing.T) {
+	adj := map[string][]string{
+		"a": {"b"},
+		"b": {"c"},
+		"c": {"a"},
+		"x": {"y"},
+	}
+	if got := pathBetween(adj, "b", "a"); len(got) != 3 || got[0] != "b" || got[2] != "a" {
+		t.Errorf("pathBetween(b,a) = %v, want [b c a]", got)
+	}
+	if got := pathBetween(adj, "x", "a"); got != nil {
+		t.Errorf("pathBetween(x,a) = %v, want nil", got)
+	}
+}

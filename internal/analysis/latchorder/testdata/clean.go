@@ -1,0 +1,81 @@
+// Clean fixture for the latchorder check: latches acquired in the
+// sanctioned order everywhere, and blocking I/O under the statement lock
+// only inside a designated flush path.
+package fixture
+
+import (
+	"os"
+	"sync"
+)
+
+type Conn struct {
+	mu sync.Mutex
+	db *Database
+}
+
+type Database struct {
+	rw    sync.RWMutex
+	frame *pool
+}
+
+type pool struct {
+	mu      sync.Mutex
+	backing *Mem
+}
+
+type Mem struct {
+	mu sync.RWMutex
+}
+
+// run is the statement path: conn.mu, then db.rw, then the closure.
+func (c *Conn) run(fn func() error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.db.rw.RLock()
+	defer c.db.rw.RUnlock()
+	return fn()
+}
+
+// Query reads through the buffer under the statement latches: the full
+// conn.mu -> db.rw -> pool.mu -> storage.mu chain, in order.
+func (c *Conn) Query() error {
+	return c.run(func() error {
+		c.db.frame.fetch()
+		return nil
+	})
+}
+
+// fetch pins a frame then reads through to storage.
+func (p *pool) fetch() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.backing.read()
+}
+
+// read is the innermost latch; it nests under everything.
+func (m *Mem) read() {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+}
+
+// checkpoint syncs under the database lock — sanctioned, and visibly so.
+//
+//tdbvet:flushpath checkpoint durability requires fsync under db.rw by design
+func (db *Database) checkpoint() error {
+	db.rw.Lock()
+	defer db.rw.Unlock()
+	f, err := os.Create("snapshot")
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// reload opens files with no latch held at all.
+func (db *Database) reload() error {
+	_, err := os.ReadFile("catalog")
+	return err
+}

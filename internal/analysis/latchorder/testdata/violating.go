@@ -1,0 +1,96 @@
+// Violating fixture for the latchorder check: a lock-order cycle between
+// the statement lock and the database lock, a second cycle between the
+// buffer and storage latches, blocking I/O on the statement path, and a
+// reasonless flushpath directive. Type and field names mirror the
+// engine's real guards — the classing is by owner type and field.
+package fixture
+
+import (
+	"os"
+	"sync"
+)
+
+type Conn struct {
+	mu sync.Mutex
+	db *Database
+}
+
+type Database struct {
+	rw    sync.RWMutex
+	frame *pool
+}
+
+type pool struct {
+	mu      sync.Mutex
+	backing *Mem
+}
+
+type Mem struct {
+	mu sync.RWMutex
+}
+
+// run is the statement path: conn.mu then db.rw, the sanctioned order.
+func (c *Conn) run(fn func() error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.db.rw.Lock()
+	defer c.db.rw.Unlock()
+	return fn()
+}
+
+// Exec drives a statement; the closure runs under run's latches.
+func (c *Conn) Exec() error {
+	return c.run(func() error {
+		return c.db.stmt()
+	})
+}
+
+// stmt opens and syncs a file on the statement path without a flushpath
+// designation: both operations are blocking I/O under the statement lock.
+func (db *Database) stmt() error {
+	f, err := os.OpenFile("spill", os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// inverted acquires db.rw and then conn.mu — the inverse of run's order,
+// closing the conn.mu/db.rw cycle.
+func (db *Database) inverted(c *Conn) {
+	db.rw.RLock()
+	defer db.rw.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+}
+
+// fetch pins a frame and reads through to storage: pool.mu before
+// storage.mu, the engine's real order.
+func (p *pool) fetch() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.backing.read()
+}
+
+// read acquires the storage latch; under fetch it is nested inside the
+// frame latch.
+func (m *Mem) read() {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+}
+
+// evictInverted acquires the frame latch while holding the storage
+// latch, closing the pool.mu/storage.mu cycle.
+func (m *Mem) evictInverted(p *pool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+}
+
+//tdbvet:flushpath
+func (db *Database) reasonless() error {
+	db.rw.Lock()
+	defer db.rw.Unlock()
+	return os.Remove("stale")
+}

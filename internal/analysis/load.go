@@ -10,7 +10,9 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // Package is one parsed and type-checked package.
@@ -21,6 +23,12 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// usedDirectives records which ignore directives suppressed a
+	// diagnostic (keyed like coverKey); see UnusedDirectives. The
+	// driver runs all analyzers of one package on one goroutine, so no
+	// lock is needed.
+	usedDirectives map[string]bool
 }
 
 // Loader parses and type-checks packages of one module without any
@@ -28,12 +36,22 @@ type Package struct {
 // the module root, everything else (the standard library) is delegated to
 // the go/importer source importer, which type-checks GOROOT/src directly
 // so no pre-compiled export data is required.
+//
+// The loader is safe for concurrent Load calls from the package-parallel
+// driver, under the driver's scheduling contract: a package is only
+// scheduled once all of its module-internal dependencies are already
+// loaded, so the recursive imports issued by the type checker always hit
+// the memo. Standard-library imports are serialized on stdMu because the
+// go/importer source importer keeps unsynchronized internal caches.
 type Loader struct {
 	Fset    *token.FileSet
 	ModRoot string // absolute module root (directory holding go.mod)
 	ModPath string // module path from go.mod
 
-	std     types.Importer
+	std   types.Importer
+	stdMu sync.Mutex
+
+	mu      sync.Mutex // guards pkgs and loading
 	pkgs    map[string]*Package
 	loading map[string]bool
 }
@@ -120,6 +138,8 @@ func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Pac
 		}
 		return pkg.Types, nil
 	}
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
 	if from, ok := l.std.(types.ImporterFrom); ok {
 		return from.ImportFrom(path, dir, mode)
 	}
@@ -128,14 +148,22 @@ func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Pac
 
 // Load parses and type-checks the module package named by path (memoized).
 func (l *Loader) Load(path string) (*Package, error) {
+	l.mu.Lock()
 	if pkg, ok := l.pkgs[path]; ok {
+		l.mu.Unlock()
 		return pkg, nil
 	}
 	if l.loading[path] {
+		l.mu.Unlock()
 		return nil, fmt.Errorf("import cycle through %s", path)
 	}
 	l.loading[path] = true
-	defer delete(l.loading, path)
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		delete(l.loading, path)
+		l.mu.Unlock()
+	}()
 
 	dir := l.dirFor(path)
 	names, err := goFilesIn(dir)
@@ -153,8 +181,56 @@ func (l *Loader) Load(path string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
+	l.mu.Lock()
 	l.pkgs[path] = pkg
+	l.mu.Unlock()
 	return pkg, nil
+}
+
+// Loaded returns every module package loaded so far, sorted by import
+// path — the deterministic input to analyzer Finish passes.
+func (l *Loader) Loaded() []*Package {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, pkg := range l.pkgs {
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Deps returns the module-internal import paths of the package named by
+// path, from a syntax-only parse (no type checking). The parallel driver
+// uses this to schedule packages in dependency order before any
+// type-checking starts.
+func (l *Loader) Deps(path string) ([]string, error) {
+	dir := l.dirFor(path)
+	names, err := goFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []string
+	fset := token.NewFileSet() // throwaway: positions are never reported
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if l.inModule(p) && !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
 }
 
 // LoadFiles parses and type-checks an explicit list of files as one

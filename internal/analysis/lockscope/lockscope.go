@@ -1,0 +1,132 @@
+// Package lockscope checks Lock/Unlock pairing within each function: a
+// guard acquired in a function body must be released on every return
+// path of that same body, either explicitly or by defer. Under PR 5's
+// fault injection every error becomes a live return path, so a lock
+// released only on the happy path is a deadlock waiting for the first
+// injected fault — exactly the hygiene the multi-writer MVCC work will
+// lean on.
+//
+// Flagged:
+//
+//   - a return (or the fall-off end of the body) reached with a guard
+//     still held and no deferred release covering it;
+//   - an Unlock/RUnlock with no matching acquisition in the same body
+//     (including an RUnlock paired with a Lock, and vice versa);
+//   - branches that disagree about whether a guard is held — a
+//     conditionally-held lock.
+//
+// Tracked guards are receivers whose type (or pointer type) carries the
+// niladic Lock/Unlock pair — sync.Mutex, sync.RWMutex, and any embedder.
+// Helpers that intentionally transfer lock ownership to their caller are
+// annotated //tdbvet:ignore lockscope <reason>. Function literals are
+// separate scopes: a literal that unlocks its enclosing function's lock
+// is flagged in the literal (use defer in the acquiring function
+// instead).
+package lockscope
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tdbms/internal/analysis"
+	"tdbms/internal/analysis/callgraph"
+	"tdbms/internal/analysis/lockflow"
+)
+
+// Analyzer is the lock-pairing check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockscope",
+	Doc:  "every Lock/RLock released on every return path of the acquiring function (modulo defer)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	for _, fn := range callgraph.Functions(pass.Files, pass.Info) {
+		checkBody(pass, fn.Body)
+	}
+}
+
+// checkBody simulates one function body (declared or literal).
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	short := func(pos token.Pos) string {
+		p := pass.Fset.Position(pos)
+		base := p.Filename
+		if i := strings.LastIndexByte(base, '/'); i >= 0 {
+			base = base[i+1:]
+		}
+		return base + ":" + itoa(p.Line)
+	}
+	lockflow.Walk(body, &lockflow.Callbacks{
+		LockName: func(recv ast.Expr) (string, bool) {
+			if !isSyncGuard(pass.Info, recv) {
+				return "", false
+			}
+			return lockflow.ExprString(recv), true
+		},
+		OnReturnHeld: func(pos token.Pos, held []lockflow.Held) {
+			for _, h := range held {
+				pass.Report(pos, "returns with %s still locked (acquired at %s); release on every path or use defer",
+					h, short(h.Pos))
+			}
+		},
+		OnUnlockUnheld: func(pos token.Pos, name string, mode lockflow.Mode) {
+			op, want := "Unlock", "Lock"
+			if mode == lockflow.Read {
+				op, want = "RUnlock", "RLock"
+			}
+			pass.Report(pos, "%s of %s without a matching %s in this function (lock ownership must not cross function boundaries)",
+				op, name, want)
+		},
+		OnDiverge: func(pos token.Pos, name string, mode lockflow.Mode) {
+			g := name
+			if mode == lockflow.Read {
+				g = name + "(RLock)"
+			}
+			pass.Report(pos, "%s is held on some but not all paths through this statement", g)
+		},
+	})
+}
+
+// isSyncGuard reports whether recv's type is a lockable guard: its
+// pointer method set has niladic Lock and Unlock — sync.Mutex,
+// sync.RWMutex, or anything embedding one.
+func isSyncGuard(info *types.Info, recv ast.Expr) bool {
+	tv, ok := info.Types[recv]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		t = types.NewPointer(t)
+	}
+	return hasNiladic(t, "Lock") && hasNiladic(t, "Unlock")
+}
+
+func hasNiladic(t types.Type, name string) bool {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		f := ms.At(i).Obj()
+		if f.Name() != name {
+			continue
+		}
+		sig, ok := f.Type().(*types.Signature)
+		return ok && sig.Params().Len() == 0 && sig.Results().Len() == 0
+	}
+	return false
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,16 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"tdbms/internal/analysis/analysistest"
+	"tdbms/internal/analysis/lockscope"
+)
+
+func TestViolating(t *testing.T) {
+	analysistest.Run(t, lockscope.Analyzer, "testdata/violating.go")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, lockscope.Analyzer, "testdata/clean.go")
+}

@@ -1,0 +1,95 @@
+package suite_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"tdbms/internal/analysis"
+	"tdbms/internal/analysis/suite"
+)
+
+// BenchmarkSelfCheck measures the package-parallel driver against the
+// serial baseline: the full ten-check suite over the repo's own module,
+// the exact workload of `tdbvet ./...` in CI. Wall-clock per run for
+// both modes and the resulting speedup are persisted to
+// BENCH_tdbvet.json (machine-dependent, so gitignored; regenerate with
+// `go test ./internal/analysis/suite -bench SelfCheck`). The dominant
+// serial cost is type-checking each package's import closure; the
+// parallel driver overlaps independent subtrees, bounded by the depth of
+// the module's import spine.
+
+type vetBenchResult struct {
+	Workers      int     `json:"workers"`
+	WallMsPerRun float64 `json:"wall_ms_per_run"`
+}
+
+var (
+	vetBenchMu      sync.Mutex
+	vetBenchResults = map[string]vetBenchResult{}
+)
+
+// TestMain persists serial-vs-parallel wall clock after a -bench run.
+// Plain `go test` leaves no artifact behind.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	serial, okS := vetBenchResults["serial"]
+	parallel, okP := vetBenchResults["parallel"]
+	if code == 0 && okS && okP {
+		out := map[string]any{
+			"serial":   serial,
+			"parallel": parallel,
+			"speedup":  serial.WallMsPerRun / parallel.WallMsPerRun,
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err == nil {
+			err = os.WriteFile("BENCH_tdbvet.json", append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench: writing BENCH_tdbvet.json:", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func BenchmarkSelfCheck(b *testing.B) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The parallel leg uses at least 4 workers so the pool is exercised
+	// even on a single-core machine; wall-clock gains track core count
+	// (on one core the two legs tie, bounded by the import-spine depth
+	// on many).
+	parallelWorkers := runtime.GOMAXPROCS(0)
+	if parallelWorkers < 4 {
+		parallelWorkers = 4
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", parallelWorkers},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				diags, err := suite.RunChecksParallel(root, nil, suite.Checks, bc.workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(diags) != 0 {
+					b.Fatalf("self-check not clean: %v", diags)
+				}
+			}
+			ms := float64(b.Elapsed().Nanoseconds()) / 1e6 / float64(b.N)
+			vetBenchMu.Lock()
+			vetBenchResults[bc.name] = vetBenchResult{Workers: bc.workers, WallMsPerRun: ms}
+			vetBenchMu.Unlock()
+		})
+	}
+}

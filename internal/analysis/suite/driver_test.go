@@ -1,0 +1,174 @@
+package suite_test
+
+import (
+	"strings"
+	"testing"
+
+	"tdbms/internal/analysis"
+	"tdbms/internal/analysis/suite"
+)
+
+// violatingModule lays out a module with diagnostics in several packages
+// and a cross-package errwrap chain, exercising the parallel driver's
+// scheduling, fact flow, and output ordering all at once.
+func violatingModule(t *testing.T) string {
+	t.Helper()
+	return writeModule(t, map[string]string{
+		"go.mod": gomod,
+		"internal/a/a.go": `package a
+
+import "os"
+
+func A() { os.Remove("x") }
+`,
+		"internal/b/b.go": `package b
+
+import "os"
+
+func B() { os.Remove("y") }
+`,
+		"internal/c/c.go": `package c
+
+import "sync"
+
+type S struct{ mu sync.Mutex }
+
+func (s *S) Bad(x bool) {
+	s.mu.Lock()
+	if x {
+		return
+	}
+	s.mu.Unlock()
+}
+`,
+		"internal/storage/s.go": `package storage
+
+import "errors"
+
+var ErrBroken = errors.New("storage: broken")
+
+func Fail() error { return ErrBroken }
+`,
+		"internal/app/app.go": `package app
+
+import (
+	"fmt"
+
+	"fixturemod/internal/storage"
+)
+
+func Wrap() error {
+	if err := storage.Fail(); err != nil {
+		return fmt.Errorf("app: %v", err)
+	}
+	return nil
+}
+`,
+	})
+}
+
+func render(diags []analysis.Diagnostic) string {
+	var sb strings.Builder
+	for _, d := range diags {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestParallelDeterminism requires byte-identical output at every worker
+// count, including repeated runs at the same count: the scheduler must
+// not let goroutine interleaving reorder (or drop) diagnostics.
+func TestParallelDeterminism(t *testing.T) {
+	dir := violatingModule(t)
+	var want string
+	for _, workers := range []int{1, 1, 2, 4, 8, 16} {
+		diags, err := suite.RunChecksParallel(dir, nil, suite.Checks, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := render(diags)
+		if want == "" {
+			want = got
+			if len(diags) < 4 {
+				t.Fatalf("fixture too weak: only %d diagnostics:\n%s", len(diags), got)
+			}
+			continue
+		}
+		if got != want {
+			t.Errorf("workers=%d output differs:\n got:\n%s\nwant:\n%s", workers, got, want)
+		}
+	}
+}
+
+// TestCrossPackageFacts proves fact flow through the driver: errwrap's
+// taint for fixturemod/internal/storage.Fail must survive the store and
+// reach the dependent package, even when the target pattern excludes the
+// storage package itself (it is still analyzed for facts).
+func TestCrossPackageFacts(t *testing.T) {
+	dir := violatingModule(t)
+	diags, err := suite.RunChecksParallel(dir, []string{"./internal/app"}, suite.Checks, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the errwrap one: %v", len(diags), diags)
+	}
+	if diags[0].Check != "errwrap" {
+		t.Errorf("check = %q, want errwrap", diags[0].Check)
+	}
+	if !strings.Contains(diags[0].Position.Filename, "app.go") {
+		t.Errorf("diagnostic should land in the dependent package, got %s", diags[0])
+	}
+}
+
+// TestMultipleFailingPackages: every unloadable package is reported, one
+// line each, sorted by path — not just the first failure the pool hit.
+func TestMultipleFailingPackages(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": gomod,
+		"internal/bad1/bad1.go": `package bad1
+
+func broken( {
+`,
+		"internal/bad2/bad2.go": `package bad2
+
+var x int = "not an int"
+`,
+		"internal/good/good.go": `package good
+
+func Fine() {}
+`,
+	})
+	_, err := suite.RunChecksParallel(dir, nil, suite.Checks, 4)
+	if err == nil {
+		t.Fatal("want a load error, got none")
+	}
+	msg := err.Error()
+	i1 := strings.Index(msg, "bad1")
+	i2 := strings.Index(msg, "bad2")
+	if i1 < 0 || i2 < 0 {
+		t.Fatalf("error should mention both failing packages:\n%s", msg)
+	}
+	if i1 > i2 {
+		t.Errorf("failures should be sorted by path (bad1 before bad2):\n%s", msg)
+	}
+	if got := len(strings.Split(strings.TrimSpace(msg), "\n")); got < 2 {
+		t.Errorf("want one line per failing package, got %d line(s):\n%s", got, msg)
+	}
+}
+
+// TestWorkerCountClamp: degenerate worker counts (0, negative) fall back
+// to a sane default instead of deadlocking the pool.
+func TestWorkerCountClamp(t *testing.T) {
+	dir := violatingModule(t)
+	for _, workers := range []int{0, -3} {
+		diags, err := suite.RunChecksParallel(dir, nil, suite.Checks, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(diags) == 0 {
+			t.Errorf("workers=%d: lost all diagnostics", workers)
+		}
+	}
+}

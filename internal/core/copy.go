@@ -25,6 +25,7 @@ func (db *Conn) execCopy(s *tquel.CopyStmt) (*Result, error) {
 	return db.copyIn(s)
 }
 
+//tdbvet:flushpath copy-to's whole purpose is dumping the relation to a file under the statement lock
 func (db *Conn) copyOut(s *tquel.CopyStmt) (res *Result, retErr error) {
 	h, err := db.handle(s.Rel)
 	if err != nil {
@@ -77,6 +78,7 @@ func (db *Conn) copyOut(s *tquel.CopyStmt) (res *Result, retErr error) {
 	return &Result{Affected: n}, nil
 }
 
+//tdbvet:flushpath copy-from reads the dump file under the statement lock; the load is the statement
 func (db *Conn) copyIn(s *tquel.CopyStmt) (*Result, error) {
 	h, err := db.handle(s.Rel)
 	if err != nil {
@@ -113,7 +115,7 @@ func (db *Conn) copyIn(s *tquel.CopyStmt) (*Result, error) {
 			row[i] = v
 		}
 		if err := db.loadRow(h, row); err != nil {
-			return nil, fmt.Errorf("core: %s line %d: %v", s.File, lineNo, err)
+			return nil, fmt.Errorf("core: %s line %d: %w", s.File, lineNo, err)
 		}
 		n++
 	}
@@ -167,7 +169,7 @@ func (db *Database) Load(rel string, rows [][]tuple.Value) (int, error) {
 	}
 	for i, row := range rows {
 		if err := db.loadRow(h, row); err != nil {
-			return i, fmt.Errorf("core: row %d: %v", i, err)
+			return i, fmt.Errorf("core: row %d: %w", i, err)
 		}
 	}
 	for _, b := range h.src.Buffers() {

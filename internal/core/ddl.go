@@ -24,6 +24,8 @@ import (
 // execCreate creates a relation. The TQuel create decoration maps onto the
 // taxonomy of Figure 1: `persistent` requests transaction time,
 // `interval`/`event` request valid time.
+//
+//tdbvet:flushpath create allocates the relation's backing file under the exclusive lock, atomically with the catalog entry
 func (db *Conn) execCreate(s *tquel.CreateStmt) (*Result, error) {
 	typ := catalog.Static
 	model := catalog.ModelNone
@@ -82,6 +84,8 @@ func keyFor(desc *catalog.Relation, attr string) (am.Key, error) {
 // execModify rebuilds a relation's storage structure, as Ingres's modify
 // does: the current contents are unloaded and reloaded into a fresh file of
 // the requested organization and fillfactor.
+//
+//tdbvet:flushpath modify replaces the relation's backing file under the exclusive lock; the relation is offline for the duration
 func (db *Conn) execModify(s *tquel.ModifyStmt) (*Result, error) {
 	h, err := db.handle(s.Rel)
 	if err != nil {
@@ -202,6 +206,7 @@ func (db *Conn) execModify(s *tquel.ModifyStmt) (*Result, error) {
 	return &Result{Affected: len(tuples)}, nil
 }
 
+//tdbvet:flushpath destroy removes the relation's backing files under the exclusive lock, atomically with the catalog entry
 func (db *Conn) execDestroy(s *tquel.DestroyStmt) (*Result, error) {
 	h, err := db.handle(s.Rel)
 	if err != nil {
@@ -270,6 +275,8 @@ func isCurrentTuple(desc *catalog.Relation, tup []byte) bool {
 }
 
 // execIndex builds a secondary index (Section 6) by scanning the relation.
+//
+//tdbvet:flushpath index build creates and truncates the index backing files under the exclusive lock; the build is the statement
 func (db *Conn) execIndex(s *tquel.IndexStmt) (*Result, error) {
 	h, err := db.handle(s.Rel)
 	if err != nil {
@@ -379,6 +386,8 @@ func (db *Conn) execIndex(s *tquel.IndexStmt) (*Result, error) {
 // versions in the history store in their original arrival order (a history
 // version arrives when superseded, i.e. at its transaction-stop time; the
 // temporal delete marker arrives at its transaction-start time).
+//
+//tdbvet:flushpath the two-level rebuild runs only on in-memory databases (guarded below), so its buffer churn under the lock never reaches disk
 func (db *Conn) convertToTwoLevel(h *relHandle, clustered bool) error {
 	desc := h.desc
 	if db.opts.Dir != "" {

@@ -70,6 +70,8 @@ type savedCatalog struct {
 }
 
 // saveCatalog writes the catalog sidecar; a no-op for in-memory databases.
+//
+//tdbvet:flushpath the catalog sidecar must be replaced atomically while the schema lock is still held, or a reader could reattach a stale catalog
 func (db *Database) saveCatalog() error {
 	if db.opts.Dir == "" {
 		return nil
@@ -235,6 +237,8 @@ func (db *Database) checkpointLocked() error {
 
 // Close checkpoints and releases every file. Closing an already-closed
 // database is a no-op.
+//
+//tdbvet:flushpath close flushes and releases every backing file while holding db.rw so no statement can race the shutdown
 func (db *Database) Close() error {
 	db.rw.Lock()
 	defer db.rw.Unlock()
