@@ -10,14 +10,20 @@ import (
 )
 
 // finish folds the per-function facts into the whole-module judgement:
-// it links interface calls to their implementations, propagates
-// held-latch sets through the call graph to a fixpoint, derives the
-// global lock-order graph, and reports order cycles and statement-lock
-// blocking.
+// it links interface calls to their implementations, propagates latch
+// transfers (latchpoint hand-offs) along each function's source order,
+// propagates held-latch sets through the call graph to a fixpoint,
+// derives the global lock-order graph, and reports order cycles,
+// statement-lock blocking, and latchpoint bypasses.
 func finish(pass *analysis.FinishPass) {
-	facts, edges := assemble(pass)
+	facts, ifaceEdges := collectFacts(pass)
+	rel := releaseSets(facts)
+	tr := transferSets(facts, rel)
+	carried := augment(facts, tr, rel)
+	edges := append(ifaceEdges, callEdges(facts, carried)...)
 	heldInto := propagate(edges, facts, false)
 	heldIntoND := propagate(edges, facts, true)
+	reportLatchpoints(pass, facts)
 	reportCycles(pass, facts, heldInto)
 	reportBlocking(pass, facts, heldIntoND)
 }
@@ -28,10 +34,10 @@ type propEdge struct {
 	held     []string
 }
 
-// assemble rebuilds the module view from the fact store: the function
-// summaries and the propagation edges (static calls, interface
-// dispatch, and the funclit-at-callsite approximation).
-func assemble(pass *analysis.FinishPass) (map[string]*FnFact, []propEdge) {
+// collectFacts rebuilds the module view from the fact store: the
+// function summaries, plus the interface-dispatch edges that link an
+// interface method node to its concrete implementations.
+func collectFacts(pass *analysis.FinishPass) (map[string]*FnFact, []propEdge) {
 	facts := map[string]*FnFact{}
 	var edges []propEdge
 	for _, key := range pass.Facts.Keys(name) {
@@ -54,27 +60,239 @@ func assemble(pass *analysis.FinishPass) (map[string]*FnFact, []propEdge) {
 			}
 		}
 	}
-	keys := make([]string, 0, len(facts))
-	for k := range facts {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
+	return facts, edges
+}
+
+// callEdges derives the held-set propagation edges from the (augmented)
+// call sites and the funclit-at-callsite approximation.
+func callEdges(facts map[string]*FnFact, carried map[string]map[string]bool) []propEdge {
+	var edges []propEdge
+	for _, k := range sortedFactKeys(facts) {
 		fact := facts[k]
 		for _, c := range fact.Calls {
 			edges = append(edges, propEdge{from: k, to: c.Op, held: c.Held})
 		}
 		// A literal passed as an argument is approximated as invoked by
-		// the callee with the callee's own direct acquisitions held — the
-		// Conn.run(fn) shape. If the callee has no summary (stdlib, e.g.
-		// sort.Slice), the bare edge still forwards whatever the callee
-		// node inherits from its call sites, which models a synchronous
-		// callback faithfully.
+		// the callee with the callee's own direct acquisitions held, plus
+		// everything transferred to the callee by its own callees — the
+		// Conn.run(fn) shape, where run latches the statement's relations
+		// through latchSet.acquire and then invokes fn under them. If the
+		// callee has no summary (stdlib, e.g. sort.Slice), the bare edge
+		// still forwards whatever the callee node inherits from its call
+		// sites, which models a synchronous callback faithfully.
 		for _, l := range fact.Lits {
-			edges = append(edges, propEdge{from: l.Callee, to: l.Lit, held: directClasses(facts[l.Callee])})
+			held := directClasses(facts[l.Callee])
+			if ever := carried[l.Callee]; len(ever) > 0 {
+				held = mergeClasses(held, ever)
+			}
+			edges = append(edges, propEdge{from: l.Callee, to: l.Lit, held: held})
 		}
 	}
-	return facts, edges
+	return edges
+}
+
+// releaseSets computes, per function, the latch classes released
+// somewhere down its call chain on the caller's behalf (a release with
+// no matching local acquisition): R(f) = own ∪ ⋃ R(callee). Fixpoint
+// over the static call edges; interface dispatch is not followed — the
+// latch hand-off protocol is concrete calls by design.
+func releaseSets(facts map[string]*FnFact) map[string]map[string]bool {
+	rel := map[string]map[string]bool{}
+	for k, fact := range facts {
+		if len(fact.Releases) > 0 {
+			rel[k] = map[string]bool{}
+			for _, c := range fact.Releases {
+				rel[k][c] = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, k := range sortedFactKeys(facts) {
+			for _, c := range facts[k].Calls {
+				for class := range rel[c.Op] {
+					if rel[k] == nil {
+						rel[k] = map[string]bool{}
+					}
+					if !rel[k][class] {
+						rel[k][class] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return rel
+}
+
+// transferSets computes, per function, the latch classes a completed
+// call to it leaves held in the caller: T(f) = (own ∪ ⋃ T(callee)) −
+// ⋃ R(callee). The release subtraction is what keeps a statement
+// self-contained — Conn.run calls latchSet.acquire (T = rel.latch) and
+// defers latchSet.release (R = rel.latch), so T(run) is empty and
+// sequential statements do not fabricate a latch-order edge between
+// their latch sets.
+func transferSets(facts map[string]*FnFact, rel map[string]map[string]bool) map[string]map[string]bool {
+	tr := map[string]map[string]bool{}
+	own := map[string][]string{}
+	for k, fact := range facts {
+		own[k] = fact.Transfers
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, k := range sortedFactKeys(facts) {
+			next := map[string]bool{}
+			for _, c := range own[k] {
+				next[c] = true
+			}
+			sub := map[string]bool{}
+			for _, c := range facts[k].Calls {
+				for class := range tr[c.Op] {
+					next[class] = true
+				}
+				for class := range rel[c.Op] {
+					sub[class] = true
+				}
+			}
+			for class := range sub {
+				delete(next, class)
+			}
+			if len(next) == 0 {
+				continue
+			}
+			cur := tr[k]
+			for class := range next {
+				if !cur[class] {
+					if cur == nil {
+						cur = map[string]bool{}
+						tr[k] = cur
+					}
+					cur[class] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return tr
+}
+
+// augment threads each function's carried latches through its sites in
+// source order: after a (non-deferred) call completes, the classes it
+// transfers are held at every later site until a call whose chain
+// releases them. The recorded held sets of later acquisitions, calls,
+// and blocking operations are widened in place, so edge building, the
+// order graph, and the blocking rule all see the carried latches.
+// Returns, per function, every class ever carried — the widening the
+// funclit approximation applies to statement bodies.
+func augment(facts map[string]*FnFact, tr, rel map[string]map[string]bool) map[string]map[string]bool {
+	ever := map[string]map[string]bool{}
+	for _, k := range sortedFactKeys(facts) {
+		fact := facts[k]
+		type ref struct {
+			pos      token.Pos
+			held     *[]string
+			callee   string
+			deferred bool
+		}
+		refs := make([]ref, 0, len(fact.Acquires)+len(fact.Calls)+len(fact.Blocks))
+		for i := range fact.Acquires {
+			a := &fact.Acquires[i]
+			refs = append(refs, ref{pos: a.Pos, held: &a.Held})
+		}
+		for i := range fact.Calls {
+			c := &fact.Calls[i]
+			refs = append(refs, ref{pos: c.Pos, held: &c.Held, callee: c.Op, deferred: c.Deferred})
+		}
+		for i := range fact.Blocks {
+			b := &fact.Blocks[i]
+			refs = append(refs, ref{pos: b.Pos, held: &b.Held})
+		}
+		sort.SliceStable(refs, func(i, j int) bool { return refs[i].pos < refs[j].pos })
+		carried := map[string]bool{}
+		for _, r := range refs {
+			if len(carried) > 0 {
+				*r.held = mergeClasses(*r.held, carried)
+			}
+			// A deferred call runs at return, not here: it neither extends
+			// nor ends the carried region (its releases are already
+			// subtracted from this function's own transfer set).
+			if r.callee == "" || r.deferred {
+				continue
+			}
+			for class := range tr[r.callee] {
+				carried[class] = true
+				if ever[k] == nil {
+					ever[k] = map[string]bool{}
+				}
+				ever[k][class] = true
+			}
+			for class := range rel[r.callee] {
+				delete(carried, class)
+			}
+		}
+	}
+	return ever
+}
+
+// mergeClasses unions a sorted class list with a class set.
+func mergeClasses(held []string, extra map[string]bool) []string {
+	seen := map[string]bool{}
+	out := make([]string, 0, len(held)+len(extra))
+	for _, h := range held {
+		if !seen[h] {
+			seen[h] = true
+			out = append(out, h)
+		}
+	}
+	for c := range extra {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sortedFactKeys lists fact keys in deterministic order.
+func sortedFactKeys(facts map[string]*FnFact) []string {
+	keys := make([]string, 0, len(facts))
+	for k := range facts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// reportLatchpoints rejects direct acquisitions of a latchpoint-owned
+// class outside a designated latchpoint: the deadlock-freedom argument
+// for the relation latches is sorted-order acquisition, which only
+// holds if every acquisition goes through the latchpoint.
+func reportLatchpoints(pass *analysis.FinishPass, facts map[string]*FnFact) {
+	owners := map[string][]string{}
+	for _, k := range sortedFactKeys(facts) {
+		if !facts[k].Latchpoint {
+			continue
+		}
+		for _, c := range directClasses(facts[k]) {
+			owners[c] = append(owners[c], k)
+		}
+	}
+	if len(owners) == 0 {
+		return
+	}
+	for _, k := range sortedFactKeys(facts) {
+		fact := facts[k]
+		if fact.Latchpoint {
+			continue
+		}
+		for _, a := range fact.Acquires {
+			if own := owners[a.Class]; len(own) > 0 {
+				pass.Report(a.Pos, "%s acquired outside its designated latchpoint (%s); route the acquisition through the latchpoint so sorted-order acquisition holds",
+					a.Class, strings.Join(own, ", "))
+			}
+		}
+	}
 }
 
 // directClasses lists the classes a function acquires directly.

@@ -14,3 +14,11 @@ func TestViolating(t *testing.T) {
 func TestClean(t *testing.T) {
 	analysistest.Run(t, latchorder.Analyzer, "testdata/clean.go")
 }
+
+func TestLatchpointViolating(t *testing.T) {
+	analysistest.Run(t, latchorder.Analyzer, "testdata/latchpoint_violating.go")
+}
+
+func TestLatchpointClean(t *testing.T) {
+	analysistest.Run(t, latchorder.Analyzer, "testdata/latchpoint_clean.go")
+}

@@ -13,11 +13,15 @@
 // Tracked latch classes are the repo's real guards, matched by owning
 // type and field name:
 //
-//	Conn.mu      the per-session statement lock
-//	Database.rw  the single-writer/multi-reader database lock
-//	pool.mu      the buffer-pool frame latch
+//	Conn.mu       the per-session statement lock
+//	Database.ddl  the schema latch (shared per statement, exclusive for DDL)
+//	Database.rw   the retired database-wide statement lock (kept for fixtures)
+//	latchTable.mu the relation-latch directory latch
+//	relLatch.mu   the per-relation statement latches (one class, "rel.latch";
+//	              instances are ordered among themselves by relation name)
+//	pool.mu       the buffer-pool frame latch
 //	Mem.mu/Disk.mu  the storage backend latches (one class, "storage.mu")
-//	Schedule.mu  the fault-schedule latch
+//	Schedule.mu   the fault-schedule latch
 //
 // Per-package, the Run pass walks each function with the lockflow
 // simulator and exports a fact: direct acquisitions (with the classes
@@ -44,6 +48,23 @@
 // the Conn.run(fn) shape the statement path uses — so execution under
 // the statement lock is visible to the analysis even though the call of
 // fn itself is dynamic.
+//
+// Relation latches are handed across function boundaries: relLatch.lock
+// returns holding the latch, and latchSet.release unlocks latches it
+// never acquired. A second directive designates the sanctioned
+// hand-off point:
+//
+//	//tdbvet:latchpoint <reason>
+//
+// A latchpoint transfers its direct acquisitions to its caller; the
+// Finish pass propagates transfers through the call graph (a call to
+// latchSet.acquire leaves the caller holding rel.latch until a call
+// whose chain releases it, so sites between acquire and release are
+// analyzed under the latch), subtracts releasing chains so a statement
+// that acquires and defers the release transfers nothing to ITS caller,
+// and rejects any direct acquisition of a latchpoint-owned class
+// outside a latchpoint — the sorted-order argument for deadlock freedom
+// rests on every relation latch passing through latchSet.acquire.
 package latchorder
 
 import (
@@ -74,17 +95,23 @@ var Analyzer = &analysis.Analyzer{
 // type names), and both storage backends share one class: they are the
 // same rank in the latch order.
 var classes = map[string]string{
-	"Conn.mu":     "conn.mu",
-	"Database.rw": "db.rw",
-	"pool.mu":     "buffer.pool.mu",
-	"Mem.mu":      "storage.mu",
-	"Disk.mu":     "storage.mu",
-	"Schedule.mu": "faultfs.mu",
+	"Conn.mu":       "conn.mu",
+	"Database.ddl":  "db.ddl",
+	"Database.rw":   "db.rw",
+	"latchTable.mu": "latchTable.mu",
+	"relLatch.mu":   "rel.latch",
+	"pool.mu":       "buffer.pool.mu",
+	"Mem.mu":        "storage.mu",
+	"Disk.mu":       "storage.mu",
+	"Schedule.mu":   "faultfs.mu",
 }
 
-// stmtClasses are the session statement lock: blocking I/O under either
-// side is what rule 2 polices.
-var stmtClasses = map[string]bool{"conn.mu": true, "db.rw": true}
+// stmtClasses are the latches a statement holds for its whole duration:
+// blocking I/O under any of them stalls concurrent statements, which is
+// what rule 2 polices.
+var stmtClasses = map[string]bool{
+	"conn.mu": true, "db.rw": true, "db.ddl": true, "rel.latch": true,
+}
 
 // blockingOps are the blocking operations of rule 2, by callee
 // ObjectKey: filesystem metadata operations and fsync-class calls. Page
@@ -110,14 +137,22 @@ var blockingOps = map[string]bool{
 // flushDirective designates a function as a sanctioned flush path.
 const flushDirective = "//tdbvet:flushpath"
 
+// latchDirective designates a function as a sanctioned latch hand-off
+// point: its direct acquisitions transfer to the caller, and its classes
+// may not be acquired anywhere else.
+const latchDirective = "//tdbvet:latchpoint"
+
 // FnFact is the per-function summary exported to the fact store.
 type FnFact struct {
 	Key        string
 	Designated bool      // carries a //tdbvet:flushpath directive
+	Latchpoint bool      // carries a //tdbvet:latchpoint directive
 	Acquires   []Acquire // direct latch acquisitions
 	Calls      []Site    // resolvable call sites (callee key in Op)
 	Blocks     []Site    // direct blocking operations (op key in Op)
 	Lits       []LitCall // function literals passed as arguments
+	Transfers  []string  // classes still held at some return (plus latchpoint acquisitions)
+	Releases   []string  // classes released without a matching local acquisition
 }
 
 // Acquire is one direct latch acquisition.
@@ -128,11 +163,13 @@ type Acquire struct {
 }
 
 // Site is one call site: Op is the callee's ObjectKey (Calls) or the
-// blocking operation's key (Blocks).
+// blocking operation's key (Blocks). Deferred marks a call that runs at
+// function return rather than at its source position.
 type Site struct {
-	Op   string
-	Pos  token.Pos
-	Held []string
+	Op       string
+	Pos      token.Pos
+	Held     []string
+	Deferred bool
 }
 
 // LitCall records a function literal passed as an argument: Lit is the
@@ -159,7 +196,35 @@ func run(pass *analysis.Pass) {
 		}
 	}
 	for _, fn := range fns {
-		fact := &FnFact{Key: fn.Key, Designated: designated(pass, fn.Decl)}
+		fact := &FnFact{
+			Key:        fn.Key,
+			Designated: designated(pass, fn.Decl),
+			Latchpoint: latchpointed(pass, fn.Decl),
+		}
+		transfers := map[string]bool{}
+		releases := map[string]bool{}
+		site := func(call *ast.CallExpr, held []lockflow.Held, deferred bool) {
+			callee := callgraph.Callee(pass.Info, call)
+			if callee == nil {
+				return
+			}
+			key := analysis.ObjectKey(callee)
+			hs := classSet(held)
+			fact.Calls = append(fact.Calls, Site{Op: key, Pos: call.Pos(), Held: hs, Deferred: deferred})
+			if blockingOps[key] {
+				fact.Blocks = append(fact.Blocks, Site{Op: key, Pos: call.Pos(), Held: hs})
+			}
+			if interfaceOf(callee) != nil {
+				pass.ExportFactKey("iface:"+key, ifaceFact{callee})
+			}
+			for _, arg := range call.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					if lk, ok := litKeys[lit]; ok {
+						fact.Lits = append(fact.Lits, LitCall{Lit: lk, Callee: key, Pos: call.Pos()})
+					}
+				}
+			}
+		}
 		lockflow.Walk(fn.Body, &lockflow.Callbacks{
 			LockName: func(recv ast.Expr) (string, bool) {
 				return classFor(pass.Info, recv)
@@ -170,30 +235,69 @@ func run(pass *analysis.Pass) {
 				})
 			},
 			OnCall: func(call *ast.CallExpr, held []lockflow.Held) {
-				callee := callgraph.Callee(pass.Info, call)
-				if callee == nil {
-					return
-				}
-				key := analysis.ObjectKey(callee)
-				hs := classSet(held)
-				fact.Calls = append(fact.Calls, Site{Op: key, Pos: call.Pos(), Held: hs})
-				if blockingOps[key] {
-					fact.Blocks = append(fact.Blocks, Site{Op: key, Pos: call.Pos(), Held: hs})
-				}
-				if interfaceOf(callee) != nil {
-					pass.ExportFactKey("iface:"+key, ifaceFact{callee})
-				}
-				for _, arg := range call.Args {
-					if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
-						if lk, ok := litKeys[lit]; ok {
-							fact.Lits = append(fact.Lits, LitCall{Lit: lk, Callee: key, Pos: call.Pos()})
-						}
-					}
+				site(call, held, false)
+			},
+			OnDeferCall: func(call *ast.CallExpr, held []lockflow.Held) {
+				site(call, held, true)
+			},
+			// A class still held at a return transfers to the caller; a
+			// release with no matching local acquisition releases on the
+			// caller's behalf. Both feed the Finish pass's carried-set
+			// propagation (lockscope reports them as bugs outside the
+			// designated latchpoint/release pairs).
+			OnReturnHeld: func(pos token.Pos, held []lockflow.Held) {
+				for _, h := range held {
+					transfers[h.Name] = true
 				}
 			},
+			OnUnlockUnheld: func(pos token.Pos, name string, mode lockflow.Mode) {
+				releases[name] = true
+			},
 		})
+		// The mode-conditional latchpoint idiom (Lock one branch, RLock the
+		// other) merges to an empty net held set, so the leak is invisible
+		// to OnReturnHeld; the directive states the transfer explicitly.
+		if fact.Latchpoint {
+			for _, a := range fact.Acquires {
+				transfers[a.Class] = true
+			}
+		}
+		fact.Transfers = sortedKeys(transfers)
+		fact.Releases = sortedKeys(releases)
 		pass.ExportFactKey("fn:"+fn.Key, fact)
 	}
+}
+
+// sortedKeys flattens a class set for the fact store.
+func sortedKeys(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// latchpointed reports whether the declaration carries a well-formed
+// latchpoint directive. A reasonless directive is reported and ignored.
+func latchpointed(pass *analysis.Pass, decl *ast.FuncDecl) bool {
+	if decl == nil || decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if !strings.HasPrefix(c.Text, latchDirective) {
+			continue
+		}
+		if strings.TrimSpace(strings.TrimPrefix(c.Text, latchDirective)) == "" {
+			pass.Report(c.Pos(), "latchpoint directive needs a reason: \"//tdbvet:latchpoint <why this function hands its latch to the caller>\"")
+			return false
+		}
+		return true
+	}
+	return false
 }
 
 // designated reports whether the declaration carries a well-formed

@@ -81,6 +81,84 @@ func TestPropagate(t *testing.T) {
 	}
 }
 
+// TestTransferSets exercises the latch hand-off fixpoint: a latchpoint's
+// transfer propagates through its callers, and a caller whose chain also
+// releases the class transfers nothing further — the Conn.run shape.
+func TestTransferSets(t *testing.T) {
+	facts := map[string]*FnFact{
+		"p.lock":    {Key: "p.lock", Transfers: []string{"rel.latch"}},
+		"p.unlock":  {Key: "p.unlock", Releases: []string{"rel.latch"}},
+		"p.acquire": {Key: "p.acquire", Calls: []Site{{Op: "p.lock", Pos: 10}}},
+		"p.release": {Key: "p.release", Calls: []Site{{Op: "p.unlock", Pos: 20}}},
+		"p.run": {Key: "p.run", Calls: []Site{
+			{Op: "p.acquire", Pos: 30},
+			{Op: "p.release", Pos: 40, Deferred: true},
+		}},
+	}
+	rel := releaseSets(facts)
+	if !rel["p.release"]["rel.latch"] {
+		t.Errorf("release did not inherit its callee's foreign unlock: %v", rel)
+	}
+	tr := transferSets(facts, rel)
+	if !tr["p.acquire"]["rel.latch"] {
+		t.Errorf("acquire did not inherit the latchpoint transfer: %v", tr)
+	}
+	if len(tr["p.run"]) != 0 {
+		t.Errorf("run transfers %v, want none: its deferred release balances the acquire", tr["p.run"])
+	}
+}
+
+// TestAugment exercises carried-set threading: sites between an
+// acquiring call and a releasing call see the transferred class, sites
+// after the release (and deferred sites, which run at return) do not.
+func TestAugment(t *testing.T) {
+	facts := map[string]*FnFact{
+		"p.f": {Key: "p.f",
+			Calls: []Site{
+				{Op: "p.acquire", Pos: 10},
+				{Op: "p.mid", Pos: 20},
+				{Op: "p.release", Pos: 30},
+				{Op: "p.after", Pos: 40},
+			},
+			Acquires: []Acquire{{Class: "buffer.pool.mu", Pos: 25}},
+			Blocks:   []Site{{Op: "os.Create", Pos: 22}},
+		},
+	}
+	tr := map[string]map[string]bool{"p.acquire": {"rel.latch": true}}
+	rel := map[string]map[string]bool{"p.release": {"rel.latch": true}}
+	ever := augment(facts, tr, rel)
+	f := facts["p.f"]
+	if got := f.Calls[1].Held; len(got) != 1 || got[0] != "rel.latch" {
+		t.Errorf("mid call held = %v, want [rel.latch]", got)
+	}
+	if got := f.Acquires[0].Held; len(got) != 1 || got[0] != "rel.latch" {
+		t.Errorf("pool acquire held = %v, want [rel.latch] (order edge witness)", got)
+	}
+	if got := f.Blocks[0].Held; len(got) != 1 || got[0] != "rel.latch" {
+		t.Errorf("blocking op held = %v, want [rel.latch]", got)
+	}
+	if got := f.Calls[3].Held; len(got) != 0 {
+		t.Errorf("call after release held = %v, want none", got)
+	}
+	if !ever["p.f"]["rel.latch"] {
+		t.Errorf("ever-carried set missing rel.latch: %v", ever)
+	}
+
+	// A deferred release does not end the carried region at its source
+	// position.
+	facts = map[string]*FnFact{
+		"p.g": {Key: "p.g", Calls: []Site{
+			{Op: "p.acquire", Pos: 10},
+			{Op: "p.release", Pos: 20, Deferred: true},
+			{Op: "p.mid", Pos: 30},
+		}},
+	}
+	augment(facts, tr, rel)
+	if got := facts["p.g"].Calls[2].Held; len(got) != 1 || got[0] != "rel.latch" {
+		t.Errorf("call after deferred release held = %v, want [rel.latch]", got)
+	}
+}
+
 // TestPathBetween pins the cycle-witness search.
 func TestPathBetween(t *testing.T) {
 	adj := map[string][]string{

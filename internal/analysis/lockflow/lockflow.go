@@ -61,6 +61,13 @@ type Callbacks struct {
 	// OnCall fires for every non-lock call expression with the guards
 	// held at that point.
 	OnCall func(call *ast.CallExpr, held []Held)
+	// OnDeferCall fires for a deferred non-lock call instead of OnCall,
+	// when set: the call runs at function return, not at this program
+	// point, which matters to analyses that order call sites (a deferred
+	// release does not end the held region it textually follows). When
+	// nil, OnCall receives deferred sites too, preserving the older
+	// contract.
+	OnDeferCall func(call *ast.CallExpr, held []Held)
 	// OnReturnHeld fires at a return statement (or the fall-off end of
 	// the body) reached with guards still held net of deferred releases.
 	OnReturnHeld func(pos token.Pos, held []Held)
@@ -378,6 +385,10 @@ func (w *walker) deferCall(call *ast.CallExpr, st *state) {
 			}
 			return true
 		})
+		return
+	}
+	if w.cb.OnDeferCall != nil {
+		w.cb.OnDeferCall(call, st.heldNow())
 		return
 	}
 	if w.cb.OnCall != nil {

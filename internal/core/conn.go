@@ -21,12 +21,15 @@ var errClosed = errors.New("core: database is closed")
 // as-of override, I/O account, temporary namer — in a session.Session.
 //
 // Statements on one Conn are serialized by its own mutex; statements on
-// different Conns follow the database's single-writer/multi-reader
-// protocol: retrieves and range declarations run under a shared lock
-// against a session-private read graph (relation handles whose buffers
-// charge the session's account), while DML and DDL take the exclusive lock
-// and run against the root graph, charging the session by global-counter
-// delta. The benchmark drives the implicit default session only, so every
+// different Conns follow the database's per-relation latching protocol:
+// run derives the statement's latch set from its range table (shared for
+// relations it reads, exclusive for the one it mutates), acquires the
+// latches in sorted name order, and pins the statement's snapshot — its
+// "now" and its conflict watermark — before the body executes. Relations
+// read under a shared latch resolve to session-private views (handles
+// whose buffers charge the session's account); relations held exclusively
+// resolve to the root handles, charging the session by root-counter delta.
+// The benchmark drives the implicit default session only, so every
 // Figure 5–10 counter is untouched by this machinery.
 type Conn struct {
 	*Database
@@ -35,21 +38,47 @@ type Conn struct {
 	// mu serializes statements on this Conn.
 	mu sync.Mutex
 
-	// active is the relation graph of the statement in flight: the
-	// session's read graph under a shared lock, the root graph under the
-	// exclusive lock. Conn.handle resolves against it.
+	// active is the relation graph of the statement in flight, keyed by
+	// lowercased name: session views for shared-latched relations, root
+	// handles for exclusively latched ones, the root map for DDL.
+	// Conn.handle resolves against it.
 	active map[string]*relHandle
 	// statsFn reads the I/O counters attributed to the statement in
-	// flight. It must never take the database lock (the statement already
-	// holds it, and the lock is not reentrant).
+	// flight: the session account, plus — for writers — the root pool
+	// counters of the exclusively latched relations.
 	statsFn func() buffer.Stats
 
-	// graph is the cached session read graph, rebuilt lazily whenever a
-	// writer has bumped the database version since it was built or the
-	// session's buffer policy has changed.
-	graph        map[string]*relHandle
-	graphVersion uint64
-	graphPol     buffer.Policy
+	// wm is the statement's snapshot watermark: db.stamp at statement
+	// start. A writer that finds a version-chain head stamped after wm
+	// lost a first-updater-wins race.
+	wm uint64
+	// testWM, when set by a test, overrides the watermark run captures —
+	// the deterministic seam for conflict-detection tests.
+	testWM *uint64
+	// stmtNow pins "now" for the duration of a statement so a concurrent
+	// clock advance cannot shift the statement's time slice mid-run.
+	stmtNow *temporal.Time
+	// chains records the version-chain heads the statement moved, per
+	// root handle; run folds them into relHandle.heads on completion.
+	chains map[*relHandle]map[int64]struct{}
+	// conflictErr makes first-updater-wins conflicts surface as
+	// ErrConflict instead of transparently restarting the statement's
+	// snapshot (the default).
+	conflictErr bool
+
+	// views caches the session's per-relation read views, rebuilt lazily
+	// per relation when its writer stamp moves and wholesale when a DDL
+	// epoch or the session's buffer policy changes.
+	views     map[string]*relView
+	viewEpoch uint64
+	viewPol   buffer.Policy
+}
+
+// relView is one cached session view and the root-handle stamp it was
+// built at.
+type relView struct {
+	h     *relHandle
+	stamp uint64
 }
 
 // Session exposes the connection's session state (for shells and tests).
@@ -58,25 +87,36 @@ func (c *Conn) Session() *session.Session { return c.sess }
 // Name returns the session's display name.
 func (c *Conn) Name() string { return c.sess.Name() }
 
-// NewSession opens a new session on the database. Sessions are cheap: a
-// handle graph is built lazily on first read and shares all frames and
-// pages with every other session.
+// NewSession opens a new session on the database. Sessions are cheap: the
+// view cache is built lazily per relation on first read and shares all
+// frames and pages with every other session.
 func (db *Database) NewSession(name string) *Conn {
-	db.rw.Lock()
-	defer db.rw.Unlock()
-	db.connSeq++
+	n := db.connSeq.Add(1)
 	if name == "" {
-		name = fmt.Sprintf("session-%d", db.connSeq)
+		name = fmt.Sprintf("session-%d", n)
 	}
-	return &Conn{Database: db, sess: session.New(db.connSeq, name)}
+	return &Conn{Database: db, sess: session.New(n, name)}
 }
 
 // DefaultSession returns the implicit session that Database.Exec uses.
 func (db *Database) DefaultSession() *Conn { return db.def }
 
-// now is the session's default "now": the as-of override when set,
-// otherwise the database clock.
+// now is the session's default "now": the pinned statement time while a
+// statement is in flight, else the as-of override when set, else the
+// database clock. Pinning keeps every now() call within one statement
+// consistent even if another session advances the clock mid-statement;
+// with the clock only moving between statements (the benchmark's pattern)
+// it changes nothing.
 func (db *Conn) now() temporal.Time {
+	if db.stmtNow != nil {
+		return *db.stmtNow
+	}
+	return db.resolveNow()
+}
+
+// resolveNow reads the session's "now" sources directly, ignoring the
+// statement pin.
+func (db *Conn) resolveNow() temporal.Time {
 	if t, ok := db.sess.NowOverride(); ok {
 		return t
 	}
@@ -118,49 +158,193 @@ func (c *Conn) ResetStats() {
 	c.sess.Account().Reset()
 }
 
-// isReadStmt classifies a statement under the concurrency protocol:
-// retrieves without a destination and range declarations touch no shared
-// state and run under the shared lock; everything else — DML, DDL, copy,
-// and retrieve-into (it creates a relation) — is a writer.
-func isReadStmt(stmt tquel.Statement) bool {
-	switch s := stmt.(type) {
-	case *tquel.RangeStmt:
-		return true
-	case *tquel.RetrieveStmt:
-		return s.Into == ""
-	}
-	return false
+// stmtLocks is a statement's declared latch set: the relations it reads
+// (shared latches), the relations it mutates (exclusive latches), or — for
+// anything touching the relation map or the catalog — the whole database
+// (the schema latch held exclusively).
+type stmtLocks struct {
+	ddlExcl bool
+	read    []string
+	write   []string
 }
 
-// run executes one statement body with the session prepared: the
-// database-level lock, the statement graph, and the stats source. It adds
-// the statement's I/O delta to the result, exactly as ExecStmt always has.
-func (c *Conn) run(read bool, fn func() (*Result, error)) (*Result, error) {
+// relsOf resolves the range variables referenced by a statement's clauses
+// to relation names via the session's range table. Variables that do not
+// resolve are skipped — execution will report them properly.
+func (c *Conn) relsOf(targets []tquel.Target, where tquel.Expr, when tquel.TExpr, valid *tquel.ValidClause) []string {
+	seen := map[string]bool{}
+	for _, t := range targets {
+		varsInExpr(t.Expr, seen)
+	}
+	if where != nil {
+		varsInExpr(where, seen)
+	}
+	if when != nil {
+		varsInTExpr(when, seen)
+	}
+	if valid != nil {
+		for _, e := range []tquel.TExpr{valid.At, valid.From, valid.To} {
+			if e != nil {
+				varsInTExpr(e, seen)
+			}
+		}
+	}
+	var rels []string
+	for v := range seen {
+		if rel, ok := c.sess.Resolve(v); ok {
+			rels = append(rels, strings.ToLower(rel))
+		}
+	}
+	return rels
+}
+
+// lockSpec derives a statement's latch set before it runs. A nil statement
+// (internal callers like EnableTwoLevel) is treated as DDL. The mapping
+// mirrors the old read/write classification of isReadStmt, refined to
+// relation grain: plain retrieves and range declarations latch their
+// relations shared; DML latches its target exclusively and its other
+// range variables shared; retrieve-into, DDL, and unknown statements
+// serialize on the schema latch (retrieve-into creates a relation).
+func (c *Conn) lockSpec(stmt tquel.Statement) stmtLocks {
+	switch s := stmt.(type) {
+	case *tquel.RangeStmt:
+		return stmtLocks{read: []string{s.Rel}}
+	case *tquel.RetrieveStmt:
+		if s.Into != "" {
+			return stmtLocks{ddlExcl: true}
+		}
+		return stmtLocks{read: c.relsOf(s.Targets, s.Where, s.When, s.Valid)}
+	case *tquel.AppendStmt:
+		return stmtLocks{
+			write: []string{s.Rel},
+			read:  c.relsOf(s.Targets, s.Where, s.When, s.Valid),
+		}
+	case *tquel.DeleteStmt:
+		return c.dmlLocks(s.Var, nil, s.Where, s.When, nil)
+	case *tquel.ReplaceStmt:
+		return c.dmlLocks(s.Var, s.Targets, s.Where, s.When, s.Valid)
+	case *tquel.CopyStmt:
+		if s.Into {
+			return stmtLocks{read: []string{s.Rel}}
+		}
+		return stmtLocks{write: []string{s.Rel}}
+	}
+	return stmtLocks{ddlExcl: true}
+}
+
+// dmlLocks is the latch set of a delete/replace: the target variable's
+// relation exclusive, every other referenced relation shared.
+func (c *Conn) dmlLocks(v string, targets []tquel.Target, where tquel.Expr, when tquel.TExpr, valid *tquel.ValidClause) stmtLocks {
+	locks := stmtLocks{read: c.relsOf(targets, where, when, valid)}
+	if rel, ok := c.sess.Resolve(v); ok {
+		locks.write = []string{rel}
+	}
+	return locks
+}
+
+// run executes one statement body with the session prepared: the schema
+// latch, the statement's relation latches (sorted), the pinned snapshot
+// ("now" and the conflict watermark), the statement graph, and the stats
+// source. It adds the statement's I/O delta to the result, exactly as
+// ExecStmt always has.
+func (c *Conn) run(stmt tquel.Statement, fn func() (*Result, error)) (*Result, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	db := c.Database
-	if read {
-		db.rw.RLock()
-		defer db.rw.RUnlock()
+	locks := c.lockSpec(stmt)
+	if locks.ddlExcl {
+		db.ddl.Lock()
+		defer db.ddl.Unlock()
 	} else {
-		db.rw.Lock()
-		defer db.rw.Unlock()
+		db.ddl.RLock()
+		defer db.ddl.RUnlock()
 	}
 	if db.closed {
 		return nil, errClosed
 	}
-	if read {
-		c.refreshGraph()
-		c.active = c.graph
-		c.statsFn = c.sess.Account().Stats
-	} else {
+
+	// The watermark is captured before the relation latches: writes that
+	// land while this statement waits for its latches are exactly the
+	// first-updater-wins races conflict detection must see.
+	c.wm = db.stamp.Load()
+	if c.testWM != nil {
+		c.wm = *c.testWM
+	}
+	ls := db.newLatchSet(locks.read, locks.write)
+	ls.acquire()
+	defer ls.release()
+
+	// Resolve the statement graph and the stats source. Shared-latched
+	// relations go through session views (account-charged, policy-
+	// applied); exclusively latched ones use the root handles — their
+	// latch guarantees the root counters' delta is exactly this
+	// statement's I/O, and mutation must go through the root handles
+	// because views snapshot access-method metadata.
+	var writeRoots []*relHandle
+	if locks.ddlExcl {
 		c.active = db.rels
-		c.statsFn = db.statsNoLock
-		// Even a failed writer may have mutated structures; every session's
-		// read graph must be rebuilt.
-		defer func() { db.version++ }()
+		c.statsFn = db.sumStats
+	} else {
+		active := make(map[string]*relHandle, len(ls.rels))
+		for _, lr := range ls.rels {
+			h, ok := db.rels[lr.name]
+			if !ok {
+				continue // the statement will report the missing relation
+			}
+			if lr.excl {
+				active[lr.name] = h
+				writeRoots = append(writeRoots, h)
+			} else {
+				active[lr.name] = c.viewFor(lr.name, h)
+			}
+		}
+		c.active = active
+		if len(writeRoots) == 0 {
+			c.statsFn = c.sess.Account().Stats
+		} else {
+			acct := c.sess.Account()
+			c.statsFn = func() buffer.Stats {
+				s := acct.Stats()
+				for _, h := range writeRoots {
+					for _, b := range h.buffers() {
+						s = s.Add(b.Stats())
+					}
+				}
+				return s
+			}
+		}
+	}
+
+	// Writer completion: stamp the statement and publish the chain heads
+	// it moved — even on error, since a failed writer may still have
+	// mutated structures. Runs while the latches are held (deferred after
+	// release was).
+	if locks.ddlExcl || len(writeRoots) > 0 {
+		defer func() {
+			s := db.stamp.Add(1)
+			if locks.ddlExcl {
+				db.epoch++ // under the exclusive schema latch
+			}
+			for _, h := range writeRoots {
+				h.stamp = s
+				for key := range c.chains[h] {
+					if h.heads == nil {
+						h.heads = make(map[int64]uint64)
+					}
+					h.heads[key] = s
+				}
+			}
+			c.chains = nil
+		}()
 	}
 	defer func() { c.active, c.statsFn = nil, nil }()
+
+	// Pin the statement's snapshot time.
+	t := c.resolveNow()
+	c.stmtNow = &t
+	defer func() { c.stmtNow = nil }()
+
+	rootBefore := rootStats(writeRoots)
 	before := c.statsFn()
 	res, err := fn()
 	if err != nil {
@@ -170,12 +354,37 @@ func (c *Conn) run(read bool, fn func() (*Result, error)) (*Result, error) {
 	res.Input += d.Reads
 	res.Output += d.Writes
 	res.InputOps += d.ReadOps
-	if !read {
-		// Writers run on the root graph (account-free handles); the delta
-		// under the exclusive lock is exactly this statement's I/O.
-		c.sess.Account().Charge(d)
+	if len(writeRoots) > 0 || locks.ddlExcl {
+		// Root-handle I/O bypasses the account (account-free handles);
+		// charge the session its delta. View I/O already charged itself.
+		rd := rootStats(writeRoots).Sub(rootBefore)
+		if locks.ddlExcl {
+			rd = d // DDL runs entirely on root handles
+		}
+		c.sess.Account().Charge(rd)
 	}
 	return res, nil
+}
+
+// rootStats sums the pool counters of the given root handles.
+func rootStats(roots []*relHandle) buffer.Stats {
+	var s buffer.Stats
+	for _, h := range roots {
+		for _, b := range h.buffers() {
+			s = s.Add(b.Stats())
+		}
+	}
+	return s
+}
+
+// SetConflictRetry selects the session's first-updater-wins policy. With
+// retry (the default) a statement whose chain heads moved past its
+// watermark transparently restarts its snapshot at the current watermark;
+// without, the statement fails with ErrConflict and the caller decides.
+func (c *Conn) SetConflictRetry(retry bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.conflictErr = !retry
 }
 
 // bufferPolicy resolves the session's effective buffer policy: its own
@@ -195,7 +404,7 @@ func (c *Conn) SetBufferPolicy(frames, readahead int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.sess.SetBufferPolicy(frames, readahead)
-	c.graph = nil
+	c.views = nil
 }
 
 // ClearBufferPolicy removes the session's buffer-policy override.
@@ -203,7 +412,7 @@ func (c *Conn) ClearBufferPolicy() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.sess.ClearBufferPolicy()
-	c.graph = nil
+	c.views = nil
 }
 
 // BufferPolicy returns the session's effective buffer policy.
@@ -213,42 +422,56 @@ func (c *Conn) BufferPolicy() buffer.Policy {
 	return c.bufferPolicy()
 }
 
-// refreshGraph rebuilds the session read graph if a writer has changed the
-// database since it was built or the session's buffer policy moved. Clones
-// share every page, frame, and directory with the root handles; only the
-// accounting and fetch policy differ. Caller holds the database lock.
-func (c *Conn) refreshGraph() {
+// viewFor returns the session's cached view of one relation, rebuilding it
+// when the relation's writer stamp has moved and resetting the whole cache
+// when a DDL epoch or the session's buffer policy changed. Views share
+// every page, frame, and directory with the root handle; only the
+// accounting and fetch policy differ. Caller holds the schema latch and
+// the relation's latch (either mode — h.stamp is stable under both).
+func (c *Conn) viewFor(name string, h *relHandle) *relHandle {
 	db := c.Database
 	pol := c.bufferPolicy()
-	if c.graph != nil && c.graphVersion == db.version && c.graphPol == pol {
-		return
+	if c.views == nil || c.viewEpoch != db.epoch || c.viewPol != pol {
+		c.views = make(map[string]*relView, len(db.rels))
+		c.viewEpoch = db.epoch
+		c.viewPol = pol
 	}
-	a := c.sess.Account()
-	g := make(map[string]*relHandle, len(db.rels))
-	for name, h := range db.rels {
-		g[name] = h.withView(a, pol)
+	v, ok := c.views[name]
+	if !ok || v.stamp != h.stamp {
+		v = &relView{h: h.withView(c.sess.Account(), pol), stamp: h.stamp}
+		c.views[name] = v
 	}
-	c.graph = g
-	c.graphVersion = db.version
-	c.graphPol = pol
+	return v.h
 }
 
-// handle resolves a relation against the statement's active graph.
+// handle resolves a relation against the statement's active graph. A name
+// that exists in the database but not in the graph means the latch-set
+// derivation missed a relation the statement touches — an internal
+// invariant violation, reported as such rather than as a missing relation.
 func (db *Conn) handle(name string) (*relHandle, error) {
-	h, ok := db.active[strings.ToLower(name)]
-	if !ok {
-		return nil, fmt.Errorf("core: relation %q does not exist", name)
+	key := strings.ToLower(name)
+	if h, ok := db.active[key]; ok {
+		return h, nil
 	}
-	return h, nil
+	if _, exists := db.rels[key]; exists {
+		return nil, fmt.Errorf("core: internal: relation %q touched outside the statement's latch set", name)
+	}
+	return nil, fmt.Errorf("core: relation %q does not exist", name)
 }
 
 // relForVar resolves a range variable to its relation handle. A binding
 // whose relation has been destroyed is dropped lazily — destroy cannot
-// reach into other sessions' range tables.
+// reach into other sessions' range tables. A binding whose relation still
+// exists but is outside the statement's latch set surfaces the internal
+// error from handle instead of being dropped.
 func (db *Conn) relForVar(v string) (*relHandle, error) {
 	if rel, ok := db.sess.Resolve(v); ok {
-		if h, err := db.handle(rel); err == nil {
+		h, err := db.handle(rel)
+		if err == nil {
 			return h, nil
+		}
+		if _, exists := db.rels[strings.ToLower(rel)]; exists {
+			return nil, err
 		}
 		db.sess.Drop(v)
 	}
@@ -280,7 +503,7 @@ func (c *Conn) Exec(src string) (*Result, error) {
 // Input/Output fields report the page I/O the statement performed against
 // user relations, their indexes, and any temporary relations.
 func (c *Conn) ExecStmt(stmt tquel.Statement) (*Result, error) {
-	return c.run(isReadStmt(stmt), func() (*Result, error) {
+	return c.run(stmt, func() (*Result, error) {
 		return c.execDispatch(stmt)
 	})
 }
@@ -330,7 +553,7 @@ func (c *Conn) QueryPlan(src string) (*Result, *plan.Tree, error) {
 		return nil, nil, fmt.Errorf("core: explain applies to retrieve statements, not %T", stmt)
 	}
 	var t *plan.Tree
-	res, err := c.run(isReadStmt(ret), func() (*Result, error) {
+	res, err := c.run(ret, func() (*Result, error) {
 		var res *Result
 		var err error
 		res, t, err = c.runRetrieve(ret)
@@ -362,10 +585,11 @@ func (c *Conn) Explain(src string) (string, error) {
 }
 
 // EnableTwoLevel converts a relation to the two-level store of Section 6
-// under the writer protocol. Existing current versions stay in the primary
-// store; existing history versions move to the history store.
+// under the schema latch (it swaps the relation's source wholesale).
+// Existing current versions stay in the primary store; existing history
+// versions move to the history store.
 func (c *Conn) EnableTwoLevel(name string, clustered bool) error {
-	_, err := c.run(false, func() (*Result, error) {
+	_, err := c.run(nil, func() (*Result, error) {
 		h, err := c.handle(name)
 		if err != nil {
 			return nil, err

@@ -25,7 +25,7 @@ func (db *Conn) execCopy(s *tquel.CopyStmt) (*Result, error) {
 	return db.copyIn(s)
 }
 
-//tdbvet:flushpath copy-to's whole purpose is dumping the relation to a file under the statement lock
+//tdbvet:flushpath copy-to's whole purpose is dumping the relation to a file under the statement's relation latch
 func (db *Conn) copyOut(s *tquel.CopyStmt) (res *Result, retErr error) {
 	h, err := db.handle(s.Rel)
 	if err != nil {
@@ -78,7 +78,7 @@ func (db *Conn) copyOut(s *tquel.CopyStmt) (res *Result, retErr error) {
 	return &Result{Affected: n}, nil
 }
 
-//tdbvet:flushpath copy-from reads the dump file under the statement lock; the load is the statement
+//tdbvet:flushpath copy-from reads the dump file under the statement's relation latch; the load is the statement
 func (db *Conn) copyIn(s *tquel.CopyStmt) (*Result, error) {
 	h, err := db.handle(s.Rel)
 	if err != nil {
@@ -157,16 +157,26 @@ func parseField(a tuple.Attr, field string, now temporal.Time) (tuple.Value, err
 // times default like an append at the current clock) or the full stored
 // schema.
 func (db *Database) Load(rel string, rows [][]tuple.Value) (int, error) {
-	db.rw.Lock()
-	defer db.rw.Unlock()
+	db.ddl.RLock()
+	defer db.ddl.RUnlock()
 	if db.closed {
 		return 0, errClosed
 	}
-	defer func() { db.version++ }()
 	h, err := db.handle(rel)
 	if err != nil {
 		return 0, err
 	}
+	ls := db.newLatchSet(nil, []string{rel})
+	ls.acquire()
+	defer ls.release()
+	// A bulk load is a writer statement without per-chain bookkeeping:
+	// stamp the relation and raise the conflict floor so any statement
+	// whose watermark predates the load sees its snapshot as stale.
+	defer func() {
+		s := db.stamp.Add(1)
+		h.stamp = s
+		h.floor = s
+	}()
 	for i, row := range rows {
 		if err := db.loadRow(h, row); err != nil {
 			return i, fmt.Errorf("core: row %d: %w", i, err)

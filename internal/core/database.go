@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"tdbms/internal/buffer"
 	"tdbms/internal/catalog"
@@ -57,33 +58,62 @@ type Options struct {
 // storage files, and the logical clock. All per-caller state — range
 // tables, as-of overrides, per-statement I/O accounting — lives in
 // sessions (Conn); the Database itself is shared by every session under a
-// single-writer/multi-reader protocol.
+// per-relation latching protocol: statements latch exactly the relations
+// they touch (shared for reads, exclusive for writes, in sorted name
+// order), so writers to distinct relations run in parallel and readers
+// never block behind unrelated writers. Only DDL — anything that mutates
+// the relation map or the catalog — serializes the whole database.
 type Database struct {
 	opts  Options
 	cat   *catalog.Catalog
 	rels  map[string]*relHandle
 	clock *temporal.Clock
 
-	// rw is the database-level statement lock: retrieves share it, DML and
-	// DDL hold it exclusively.
-	rw sync.RWMutex
-	// version counts writer statements; sessions rebuild their read graphs
-	// when it moves.
-	version uint64
+	// ddl is the schema latch: DDL statements (create/modify/destroy/
+	// index, retrieve-into, two-level conversion) and lifecycle operations
+	// (checkpoint, close, stats reset) hold it exclusively; every other
+	// statement holds it shared for its whole duration. It guards rels,
+	// the catalog, epoch, and closed.
+	ddl sync.RWMutex
+	// latches hands out the per-relation statement latches.
+	latches latchTable
+	// stamp numbers writer statements; a statement's snapshot watermark is
+	// the value loaded at statement start, and first-updater-wins conflict
+	// detection compares version-chain heads against it.
+	stamp atomic.Uint64
+	// epoch counts DDL statements (guarded by ddl held exclusively;
+	// readers observe it under the shared latch). Sessions rebuild their
+	// whole view cache when it moves.
+	epoch uint64
 	// closed marks a database whose files have been released; Close is
 	// idempotent and later statements fail cleanly.
 	closed bool
 	// def is the implicit session behind Database.Exec.
 	def *Conn
 	// connSeq numbers explicitly created sessions.
-	connSeq int64
+	connSeq atomic.Int64
 }
 
-// relHandle is an open relation: descriptor plus storage.
+// relHandle is an open relation: descriptor plus storage, and — on root
+// handles only — the write watermarks conflict detection and view caching
+// read. Session views (withView clones) leave the watermark fields zero.
 type relHandle struct {
 	desc    *catalog.Relation
 	src     source
 	indexes map[string]*secindex.Index
+
+	// stamp is the statement stamp of the last writer that touched the
+	// relation; sessions rebuild their cached view of the relation when it
+	// moves. Guarded by the relation latch (exclusive to write, shared to
+	// read).
+	stamp uint64
+	// heads maps chain keys to the stamp of the writer statement that last
+	// moved that chain's head — the grain of first-updater-wins conflict
+	// detection. Guarded by the exclusive relation latch.
+	heads map[int64]uint64
+	// floor is a relation-wide lower bound on head stamps, raised by bulk
+	// paths (Load) that mutate chains without per-key bookkeeping.
+	floor uint64
 }
 
 // withView clones the handle for a session's read graph: the same pages,
@@ -204,10 +234,11 @@ func (db *Database) handle(name string) (*relHandle, error) {
 	return h, nil
 }
 
-// Relation returns the catalog descriptor for a relation.
+// Relation returns the catalog descriptor for a relation. Descriptors are
+// only mutated by DDL, so the shared schema latch suffices.
 func (db *Database) Relation(name string) (*catalog.Relation, error) {
-	db.rw.RLock()
-	defer db.rw.RUnlock()
+	db.ddl.RLock()
+	defer db.ddl.RUnlock()
 	h, err := db.handle(name)
 	if err != nil {
 		return nil, err
@@ -216,14 +247,18 @@ func (db *Database) Relation(name string) (*catalog.Relation, error) {
 }
 
 // NumPages reports the current size of a relation in pages (Figure 5's
-// space metric).
+// space metric). It latches the relation shared so a concurrent writer's
+// structural changes cannot be observed mid-flight.
 func (db *Database) NumPages(name string) (int, error) {
-	db.rw.RLock()
-	defer db.rw.RUnlock()
+	db.ddl.RLock()
+	defer db.ddl.RUnlock()
 	h, err := db.handle(name)
 	if err != nil {
 		return 0, err
 	}
+	ls := db.newLatchSet([]string{name}, nil)
+	ls.acquire()
+	defer ls.release()
 	return h.src.NumPages(), nil
 }
 
@@ -237,11 +272,12 @@ func (h *relHandle) buffers() []*buffer.Buffered {
 }
 
 // ResetStats zeroes the I/O counters of every relation. The benchmark calls
-// it before each measured query. Session accounts are owned by their
-// sessions (Conn.ResetStats).
+// it before each measured query. The exclusive schema latch drains every
+// in-flight statement first, so no counter is zeroed mid-statement.
+// Session accounts are owned by their sessions (Conn.ResetStats).
 func (db *Database) ResetStats() {
-	db.rw.Lock()
-	defer db.rw.Unlock()
+	db.ddl.Lock()
+	defer db.ddl.Unlock()
 	for _, h := range db.rels {
 		for _, b := range h.buffers() {
 			b.ResetStats()
@@ -250,10 +286,11 @@ func (db *Database) ResetStats() {
 }
 
 // InvalidateBuffers empties every relation's buffer frame so the next query
-// starts cold, as each benchmark measurement did.
+// starts cold, as each benchmark measurement did. Exclusive on the schema
+// latch: frames must not vanish under a running statement.
 func (db *Database) InvalidateBuffers() error {
-	db.rw.Lock()
-	defer db.rw.Unlock()
+	db.ddl.Lock()
+	defer db.ddl.Unlock()
 	for _, h := range db.rels {
 		for _, b := range h.buffers() {
 			if err := b.Invalidate(); err != nil {
@@ -266,15 +303,18 @@ func (db *Database) InvalidateBuffers() error {
 
 // Stats sums the I/O counters over all user relations and their indexes.
 func (db *Database) Stats() buffer.Stats {
-	db.rw.RLock()
-	defer db.rw.RUnlock()
-	return db.statsNoLock()
+	db.ddl.RLock()
+	defer db.ddl.RUnlock()
+	return db.sumStats()
 }
 
-// statsNoLock is Stats for callers already holding the database lock
-// (notably attribution inside a running statement — the lock is not
-// reentrant).
-func (db *Database) statsNoLock() buffer.Stats {
+// sumStats sums every relation's pool counters. Each pool guards its
+// counters with its own mutex, so this is safe to call concurrently with
+// running statements from anywhere that holds the schema latch in either
+// mode (the old db.rw scheme needed an unlocked variant for in-statement
+// attribution; per-pool locking removed that special case). The sum is
+// exact whenever no statement is in flight and never torn otherwise.
+func (db *Database) sumStats() buffer.Stats {
 	var s buffer.Stats
 	for _, h := range db.rels {
 		for _, b := range h.buffers() {
@@ -287,8 +327,8 @@ func (db *Database) statsNoLock() buffer.Stats {
 // RelationStats returns the I/O counters of one relation (storage plus
 // indexes).
 func (db *Database) RelationStats(name string) (buffer.Stats, error) {
-	db.rw.RLock()
-	defer db.rw.RUnlock()
+	db.ddl.RLock()
+	defer db.ddl.RUnlock()
 	h, err := db.handle(name)
 	if err != nil {
 		return buffer.Stats{}, err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"tdbms/internal/buffer"
 	"tdbms/internal/catalog"
 	"tdbms/internal/temporal"
 )
@@ -21,8 +22,8 @@ import (
 // replace/delete); relations deliberately appended with duplicate keys
 // would trip it.
 func (db *Database) CheckIntegrity() error {
-	db.rw.RLock()
-	defer db.rw.RUnlock()
+	db.ddl.RLock()
+	defer db.ddl.RUnlock()
 	if db.closed {
 		return errClosed
 	}
@@ -32,7 +33,15 @@ func (db *Database) CheckIntegrity() error {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		if err := db.checkRelation(db.rels[name]); err != nil {
+		// Latch each relation shared and scan through a throwaway view:
+		// the root handle's scratch page is the statement writer's, and a
+		// concurrent reader's own view keeps the frames consistent.
+		ls := db.newLatchSet([]string{name}, nil)
+		ls.acquire()
+		v := db.rels[name].withView(buffer.NewAccount(), db.bufferPolicy())
+		err := db.checkRelation(v)
+		ls.release()
+		if err != nil {
 			return err
 		}
 	}
@@ -43,11 +52,7 @@ func (db *Database) checkRelation(h *relHandle) error {
 	desc := h.desc
 	// Chain identity: the storage key when one is declared, else the first
 	// user attribute when it is key-shaped (the benchmark's id column).
-	keyAttr := desc.KeyAttr
-	if keyAttr == "" && desc.NumUserAttrs > 0 {
-		keyAttr = desc.Schema.Attr(0).Name
-	}
-	key, keyErr := keyFor(desc, keyAttr)
+	key, keyErr := chainKey(desc)
 	open := make(map[int64]bool)
 	it := h.src.ScanAll()
 	for {

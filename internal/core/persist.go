@@ -215,9 +215,10 @@ func (db *Database) loadCatalog() error {
 // Checkpoint flushes every buffer and persists the catalog (including
 // mutable B-tree metadata). Close calls it automatically. Checkpointing a
 // closed database fails cleanly instead of writing through released files.
+// The exclusive schema latch drains every in-flight statement first.
 func (db *Database) Checkpoint() error {
-	db.rw.Lock()
-	defer db.rw.Unlock()
+	db.ddl.Lock()
+	defer db.ddl.Unlock()
 	if db.closed {
 		return errClosed
 	}
@@ -238,10 +239,10 @@ func (db *Database) checkpointLocked() error {
 // Close checkpoints and releases every file. Closing an already-closed
 // database is a no-op.
 //
-//tdbvet:flushpath close flushes and releases every backing file while holding db.rw so no statement can race the shutdown
+//tdbvet:flushpath close flushes and releases every backing file while holding db.ddl exclusively so no statement can race the shutdown
 func (db *Database) Close() error {
-	db.rw.Lock()
-	defer db.rw.Unlock()
+	db.ddl.Lock()
+	defer db.ddl.Unlock()
 	if db.closed {
 		return nil
 	}

@@ -4,7 +4,10 @@
 // live as mutable fields on core.Database, which made two callers unable to
 // even declare range variables concurrently; extracting it leaves the
 // database itself shareable (catalog + storage + clock) and makes a session
-// the unit of isolation for concurrent read execution.
+// the unit of isolation for concurrent execution — readers and writers
+// alike, since statements latch individual relations rather than the
+// database (see core's per-relation latching and first-updater-wins
+// conflict policy, core.Conn.SetConflictRetry).
 //
 // The package deliberately sits below core and beside buffer: it may not
 // import the planner (internal/plan) or the raw page files

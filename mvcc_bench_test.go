@@ -1,0 +1,193 @@
+package tdbms
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// BenchmarkMVCCWriters measures writer throughput at 1/2/4/GOMAXPROCS
+// concurrent writer sessions in two shapes: "disjoint" gives every writer
+// its own relation (the case per-relation latching should scale with
+// cores), "overlapping" points every writer at one shared relation (the
+// case that must serialize on the relation latch no matter what). Each
+// statement is a hashed single-tuple replace on a temporal relation, so
+// the work per statement is a probe plus one version-chain supersede.
+//
+// Unlike BENCH_session.json, the numbers here are wall-clock throughput —
+// machine-dependent by design, recorded so the per-relation-latch engine
+// can be compared against the database-wide-lock baseline on one machine.
+
+type mvccBenchMetrics struct {
+	Writers          int     `json:"writers"`
+	StatementsPerSec float64 `json:"statements_per_sec,omitempty"`
+	NsPerStatement   float64 `json:"ns_per_statement,omitempty"`
+	ReaderNsPerOp    float64 `json:"reader_ns_per_op,omitempty"`
+}
+
+var (
+	mvccBenchMu      sync.Mutex
+	mvccBenchResults = map[string]mvccBenchMetrics{}
+)
+
+const mvccBenchRows = 128
+
+// buildMVCCBenchDB opens an in-memory database with nrels hashed temporal
+// relations named w0..w<nrels-1>, each loaded with mvccBenchRows tuples.
+func buildMVCCBenchDB(b *testing.B, nrels int) *DB {
+	b.Helper()
+	db := MustOpen(Options{Now: time.Date(1980, 3, 1, 0, 0, 0, 0, time.UTC)})
+	rows := make([][]any, mvccBenchRows)
+	for i := range rows {
+		rows[i] = []any{i, 0}
+	}
+	for r := 0; r < nrels; r++ {
+		name := fmt.Sprintf("w%d", r)
+		if _, err := db.Exec(fmt.Sprintf(`create persistent interval %s (id = i4, seq = i4)`, name)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Load(name, rows); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Exec(fmt.Sprintf(`modify %s to hash on id where fillfactor = 100`, name)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	db.AdvanceClock(time.Hour)
+	return db
+}
+
+func mvccWriterCounts() []int {
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+func BenchmarkMVCCWriters(b *testing.B) {
+	for _, mode := range []string{"disjoint", "overlapping"} {
+		for _, n := range mvccWriterCounts() {
+			b.Run(fmt.Sprintf("%s/writers-%d", mode, n), func(b *testing.B) {
+				nrels := n
+				if mode == "overlapping" {
+					nrels = 1
+				}
+				db := buildMVCCBenchDB(b, nrels)
+				defer db.Close()
+				sessions := make([]*Session, n)
+				for w := range sessions {
+					rel := fmt.Sprintf("w%d", w%nrels)
+					sessions[w] = db.Session(fmt.Sprintf("writer-%d", w))
+					if _, err := sessions[w].Exec(fmt.Sprintf(`range of v is %s`, rel)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				errs := make([]error, n)
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for w, s := range sessions {
+					wg.Add(1)
+					go func(w int, s *Session) {
+						defer wg.Done()
+						// Writers stripe over distinct ids so overlapping
+						// mode contends on the relation, never on one
+						// version-chain head.
+						for i := 0; i < b.N; i++ {
+							id := (w + i*n) % mvccBenchRows
+							q := fmt.Sprintf(`replace v (seq = v.seq + 1) where v.id = %d`, id)
+							if _, err := s.Exec(q); err != nil {
+								errs[w] = err
+								return
+							}
+						}
+					}(w, s)
+				}
+				wg.Wait()
+				b.StopTimer()
+				for w, err := range errs {
+					if err != nil {
+						b.Fatalf("writer %d: %v", w, err)
+					}
+				}
+				stmts := float64(n) * float64(b.N)
+				secs := b.Elapsed().Seconds()
+				m := mvccBenchMetrics{
+					Writers:          n,
+					StatementsPerSec: stmts / secs,
+					NsPerStatement:   float64(b.Elapsed().Nanoseconds()) / stmts,
+				}
+				b.ReportMetric(m.StatementsPerSec, "stmts/sec")
+				mvccBenchMu.Lock()
+				mvccBenchResults[fmt.Sprintf("MVCCWriters/%s/%d", mode, n)] = m
+				mvccBenchMu.Unlock()
+			})
+		}
+	}
+}
+
+// BenchmarkMVCCReaderWithWriter measures point-read latency in one session
+// while another session continuously replaces tuples of a second relation.
+// Under the database-wide statement lock every read waits for the writer's
+// statements; under per-relation latching the relations are independent
+// and the reader should be unaffected.
+func BenchmarkMVCCReaderWithWriter(b *testing.B) {
+	db := buildMVCCBenchDB(b, 2)
+	defer db.Close()
+	reader := db.Session("reader")
+	if _, err := reader.Exec(`range of v is w0`); err != nil {
+		b.Fatal(err)
+	}
+	writer := db.Session("writer")
+	if _, err := writer.Exec(`range of v is w1`); err != nil {
+		b.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var writerErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			q := fmt.Sprintf(`replace v (seq = v.seq + 1) where v.id = %d`, i%mvccBenchRows)
+			if _, err := writer.Exec(q); err != nil {
+				writerErr = err
+				return
+			}
+		}
+	}()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := fmt.Sprintf(`retrieve (v.seq) where v.id = %d`, i%mvccBenchRows)
+		res, err := reader.Exec(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 1 {
+			b.Fatalf("point read returned %d rows", len(res.Rows))
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	if writerErr != nil {
+		b.Fatalf("background writer: %v", writerErr)
+	}
+	m := mvccBenchMetrics{
+		Writers:       1,
+		ReaderNsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+	}
+	b.ReportMetric(m.ReaderNsPerOp, "readerNs/op")
+	mvccBenchMu.Lock()
+	mvccBenchResults["MVCCReaderWithWriter"] = m
+	mvccBenchMu.Unlock()
+}

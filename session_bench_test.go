@@ -36,26 +36,42 @@ var (
 // benchmark that ran. Plain `go test` leaves no artifact behind.
 func TestMain(m *testing.M) {
 	code := m.Run()
-	if code == 0 && len(sessionBenchResults) > 0 {
-		names := make([]string, 0, len(sessionBenchResults))
-		for n := range sessionBenchResults {
-			names = append(names, n)
+	if code == 0 {
+		if err := writeBenchJSON("BENCH_session.json", sessionBenchResults); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			code = 1
 		}
-		sort.Strings(names)
-		out := make(map[string]sessionBenchMetrics, len(names))
-		for _, n := range names {
-			out[n] = sessionBenchResults[n]
-		}
-		data, err := json.MarshalIndent(out, "", "  ")
-		if err == nil {
-			err = os.WriteFile("BENCH_session.json", append(data, '\n'), 0o644)
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "bench: writing BENCH_session.json:", err)
+		if err := writeBenchJSON("BENCH_mvcc.json", mvccBenchResults); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
 			code = 1
 		}
 	}
 	os.Exit(code)
+}
+
+// writeBenchJSON writes a benchmark-results map with sorted keys; an empty
+// map leaves no artifact behind.
+func writeBenchJSON[M any](path string, results map[string]M) error {
+	if len(results) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make(map[string]M, len(names))
+	for _, n := range names {
+		out[n] = results[n]
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return nil
 }
 
 // buildConcurrencyBenchDB loads a hashed temporal relation of 512 tuples
