@@ -3,7 +3,9 @@
 // the compiler cannot see.
 //
 //	layering     raw file I/O only in internal/storage; buffer.Stats
-//	             mutated only by internal/buffer
+//	             mutated only by internal/buffer; catalog.Stats (the
+//	             optimizer statistics) mutated only by internal/catalog
+//	             and internal/core
 //	determinism  no wall clock, global rand, or map-ordered iteration in
 //	             internal/bench figure paths
 //	sessionstate core.Database keeps no per-caller statement state, and

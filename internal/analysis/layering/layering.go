@@ -11,6 +11,10 @@
 //     touch pages itself: it may not import internal/buffer or
 //     internal/storage. Execution — and therefore all counted I/O —
 //     belongs to the executor and the layers below it.
+//  4. The optimizer statistics (catalog.Stats) are written only by
+//     internal/catalog and internal/core — the layers that hold the
+//     relation latch while they mutate. Everyone else reads estimates;
+//     a stray writer would skew every cost-based plan silently.
 package layering
 
 import (
@@ -24,7 +28,18 @@ const (
 	bufferPkg  = "tdbms/internal/buffer"
 	storagePkg = "tdbms/internal/storage"
 	planPkg    = "tdbms/internal/plan"
+	catalogPkg = "tdbms/internal/catalog"
+	corePkg    = "tdbms/internal/core"
 )
+
+// statsMutators lists the catalog.Stats methods that write statistics;
+// calling one outside the sanctioned packages is a mutation like any
+// field write.
+var statsMutators = map[string]bool{
+	"NoteInsert": true, "NoteRemove": true, "NoteClose": true,
+	"NoteReopen": true, "NoteHistoryInsert": true, "NoteHistoryRemove": true,
+	"NoteReplaceImage": true, "SetIndex": true,
+}
 
 // forbiddenIO lists the file-opening and whole-file I/O functions that
 // constitute raw file access. Functions that only manipulate metadata
@@ -43,7 +58,7 @@ var forbiddenIO = map[string]map[string]bool{
 // Analyzer is the layering check.
 var Analyzer = &analysis.Analyzer{
 	Name: "layering",
-	Doc:  "raw file I/O only in internal/storage; buffer.Stats mutated only by internal/buffer",
+	Doc:  "raw file I/O only in internal/storage; buffer.Stats mutated only by internal/buffer; catalog.Stats mutated only by internal/catalog and internal/core",
 	Run:  run,
 }
 
@@ -53,6 +68,9 @@ func run(pass *analysis.Pass) {
 	}
 	if pass.Pkg.Path() != bufferPkg {
 		checkStatsMutation(pass)
+	}
+	if p := pass.Pkg.Path(); p != catalogPkg && p != corePkg {
+		checkCatalogStats(pass)
 	}
 	// Fixture packages load under a synthetic import path, so the planner
 	// is also recognized by package name.
@@ -116,6 +134,71 @@ func checkStatsMutation(pass *analysis.Pass) {
 			return true
 		})
 	}
+}
+
+// checkCatalogStats flags writes to the optimizer statistics outside
+// internal/catalog and internal/core: direct field assignments and ++/--
+// on catalog.Stats, and calls to its mutator methods.
+func checkCatalogStats(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range stmt.Lhs {
+					reportIfCatalogStatsField(pass, lhs)
+				}
+			case *ast.IncDecStmt:
+				reportIfCatalogStatsField(pass, stmt.X)
+			}
+			return true
+		})
+	}
+	for ident, obj := range pass.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || !statsMutators[fn.Name()] {
+			continue
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			continue
+		}
+		if !isCatalogStats(sig.Recv().Type()) {
+			continue
+		}
+		pass.Report(ident.Pos(),
+			"call to catalog.Stats.%s outside internal/catalog and internal/core skews the planner's statistics",
+			fn.Name())
+	}
+}
+
+func reportIfCatalogStatsField(pass *analysis.Pass, expr ast.Expr) {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection, ok := pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	if !isCatalogStats(selection.Recv()) {
+		return
+	}
+	pass.Report(sel.Pos(),
+		"mutation of catalog.Stats.%s outside internal/catalog and internal/core skews the planner's statistics",
+		sel.Sel.Name)
+}
+
+// isCatalogStats reports whether t (possibly behind a pointer) is the
+// catalog.Stats type.
+func isCatalogStats(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == catalogPkg && named.Obj().Name() == "Stats"
 }
 
 func reportIfStatsField(pass *analysis.Pass, expr ast.Expr) {

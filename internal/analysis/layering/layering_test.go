@@ -15,6 +15,14 @@ func TestClean(t *testing.T) {
 	analysistest.Run(t, layering.Analyzer, "testdata/clean.go")
 }
 
+func TestCatalogStatsViolating(t *testing.T) {
+	analysistest.Run(t, layering.Analyzer, "testdata/catalogstats_violating.go")
+}
+
+func TestCatalogStatsClean(t *testing.T) {
+	analysistest.Run(t, layering.Analyzer, "testdata/catalogstats_clean.go")
+}
+
 func TestPlanImportViolating(t *testing.T) {
 	analysistest.Run(t, layering.Analyzer, "testdata/planimport_violating.go")
 }

@@ -1,0 +1,18 @@
+// Clean fixture for the catalog-statistics half of the layering check:
+// reading statistics — counters, chain shape, index selectivities — is
+// open to everyone; only writes are fenced.
+package fixture
+
+import "tdbms/internal/catalog"
+
+func estimate(s *catalog.Stats) float64 {
+	versions := float64(s.Versions)
+	if n, ok := s.Index("ix"); ok && n.Distinct > 0 {
+		return float64(n.Entries) / float64(n.Distinct)
+	}
+	chains, vs := s.ChainRange(10, 20)
+	if chains > 0 {
+		return float64(vs) / float64(chains)
+	}
+	return versions * s.MeanChain()
+}

@@ -1,0 +1,22 @@
+// Violating fixture for the catalog-statistics half of the layering
+// check: optimizer statistics written outside internal/catalog and
+// internal/core, by field write and by mutator call.
+package fixture
+
+import "tdbms/internal/catalog"
+
+func skewCounts(s *catalog.Stats) {
+	s.Versions++
+	s.Current -= 1
+	s.Pages = 0
+}
+
+func skewByMethod(s *catalog.Stats) {
+	s.NoteInsert(7, true)
+	s.NoteClose()
+	s.SetIndex("ix", catalog.IndexStats{Entries: 1, Distinct: 1, Pages: 1})
+}
+
+func readingIsFine(s *catalog.Stats) (int64, float64) {
+	return s.Chains() + s.ChainLen(7) + s.Versions, s.MeanChain()
+}

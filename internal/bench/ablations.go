@@ -372,6 +372,11 @@ func (r *PoolAblation) Format() string {
 // loadInto fills an already-open database with the benchmark relations
 // (used by ablations that need non-default core options).
 func loadInto(b *DB) error {
+	return loadIntoN(b, NumTuples)
+}
+
+// loadIntoN is loadInto at an arbitrary cardinality (the scaled suite).
+func loadIntoN(b *DB, n int) error {
 	inner := b.Inner
 	for _, rel := range []string{b.H, b.I} {
 		stmt := fmt.Sprintf("%s %s (id = i4, amount = i4, seq = i4, string = c96)", createDecl(b.Type), rel)
@@ -380,7 +385,7 @@ func loadInto(b *DB) error {
 		}
 	}
 	for relIdx, rel := range []string{b.H, b.I} {
-		rows, err := generateRows(b.Type, int64(relIdx))
+		rows, err := generateRowsN(b.Type, int64(relIdx), n)
 		if err != nil {
 			return err
 		}
@@ -401,11 +406,16 @@ func loadInto(b *DB) error {
 
 // generateRows produces the deterministic benchmark rows for one relation.
 func generateRows(t DBType, relIdx int64) ([][]tuple.Value, error) {
+	return generateRowsN(t, relIdx, NumTuples)
+}
+
+// generateRowsN draws the same deterministic stream at cardinality n.
+func generateRowsN(t DBType, relIdx int64, n int) ([][]tuple.Value, error) {
 	rng := newWorkloadRNG(relIdx)
-	amt := amounts(rng)
-	times := randomTimes(rng, NumTuples)
-	rows := make([][]tuple.Value, NumTuples)
-	for i := 0; i < NumTuples; i++ {
+	amt := amountsN(rng, n)
+	times := randomTimes(rng, n)
+	rows := make([][]tuple.Value, n)
+	for i := 0; i < n; i++ {
 		row := []tuple.Value{
 			tuple.IntValue(int64(i + 1)),
 			tuple.IntValue(amt[i]),

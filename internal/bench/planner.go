@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"fmt"
+
+	"tdbms/internal/plan"
+)
+
+// PlannerEntry is one estimated operator of one benchmark query: the
+// planner's predicted rows and pages next to what execution measured, and
+// the page q-error (the larger of est/actual and actual/est, the standard
+// planner-accuracy metric; 1.0 is a perfect estimate).
+type PlannerEntry struct {
+	DB       string  `json:"db"`    // "temporal/100"
+	Query    string  `json:"query"` // "Q01".."Q12"
+	Op       string  `json:"op"`    // operator and variable, e.g. "probe h"
+	EstRows  float64 `json:"est_rows"`
+	ActRows  int64   `json:"act_rows"`
+	EstPages float64 `json:"est_pages"`
+	ActPages int64   `json:"act_pages"`
+	QErr     float64 `json:"q_error_pages"`
+}
+
+// QError is the factor by which an estimate misses a measurement, on
+// whichever side it misses. Both quantities are clamped to one page/row:
+// an access that estimated 0.3 pages and read 0 is not an infinite error.
+func QError(est float64, act int64) float64 {
+	e := est
+	if e < 1 {
+		e = 1
+	}
+	a := float64(act)
+	if a < 1 {
+		a = 1
+	}
+	if e > a {
+		return e / a
+	}
+	return a / e
+}
+
+// PlannerReport builds one benchmark database per type, evolves it to
+// maxUC, runs ANALYZE, and records est-vs-measured for every estimated
+// access-path operator of the twelve queries (cold, like every benchmark
+// measurement).
+func PlannerReport(types []DBType, loading, maxUC int) ([]PlannerEntry, error) {
+	var out []PlannerEntry
+	for _, typ := range types {
+		b, err := Build(typ, loading)
+		if err != nil {
+			return nil, fmt.Errorf("build %s: %w", typ, err)
+		}
+		for uc := 0; uc < maxUC; uc++ {
+			if err := b.Update(); err != nil {
+				return nil, fmt.Errorf("update %s: %w", typ, err)
+			}
+		}
+		if _, err := b.Inner.Exec(`analyze`); err != nil {
+			return nil, fmt.Errorf("analyze %s: %w", typ, err)
+		}
+		dbName := fmt.Sprintf("%s/%d", typ, loading)
+		for _, q := range Queries(b.Type) {
+			if q.Text == "" {
+				continue
+			}
+			if err := b.Inner.InvalidateBuffers(); err != nil {
+				return nil, err
+			}
+			b.Inner.ResetStats()
+			_, tree, err := b.Inner.QueryPlan(q.Text)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", q.ID, dbName, err)
+			}
+			tree.Walk(func(n *plan.Node) {
+				if !n.HasEst {
+					return
+				}
+				out = append(out, PlannerEntry{
+					DB:       dbName,
+					Query:    q.ID,
+					Op:       fmt.Sprintf("%s %s", n.Op, n.Var),
+					EstRows:  n.EstRows,
+					ActRows:  n.ActRows,
+					EstPages: n.EstPages,
+					ActPages: n.IO.Reads,
+					QErr:     QError(n.EstPages, n.IO.Reads),
+				})
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,25 @@
+package bench
+
+import "testing"
+
+// TestPlannerQError checks the cost model against the paper databases:
+// after ANALYZE, every estimated access-path operator of the twelve
+// queries must predict its page reads within a q-error of 4 — estimates
+// good enough that no access-path decision is off by more than a small
+// constant factor.
+func TestPlannerQError(t *testing.T) {
+	const maxQErr = 4.0
+	entries, err := PlannerReport(Types, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no estimated operators: ANALYZE did not reach the planner")
+	}
+	for _, e := range entries {
+		if e.QErr > maxQErr {
+			t.Errorf("%s %s %s: est %.1f pages, read %d (q-error %.2f > %.0f)",
+				e.DB, e.Query, e.Op, e.EstPages, e.ActPages, e.QErr, maxQErr)
+		}
+	}
+}

@@ -94,7 +94,14 @@ func randomTimes(rng *rand.Rand, n int) []temporal.Time {
 // that the benchmark constants 69400 and 73700 each select exactly one
 // tuple (Q07/Q08/Q12).
 func amounts(rng *rand.Rand) []int64 {
-	out := make([]int64, NumTuples)
+	return amountsN(rng, NumTuples)
+}
+
+// amountsN is amounts at an arbitrary cardinality: a permutation of
+// {0, 100, ..., (n-1)*100}. For n >= NumTuples the Figure 4 amount
+// constants still select exactly one tuple each.
+func amountsN(rng *rand.Rand, n int) []int64 {
+	out := make([]int64, n)
 	for i := range out {
 		out[i] = int64(i) * 100
 	}

@@ -140,6 +140,11 @@ type Relation struct {
 	// Indexes into Schema of the implicit attributes, or -1. For event
 	// relations VF == VT == the valid_at attribute.
 	TS, TE, VF, VT int
+
+	// Stat holds the relation's optimizer statistics, nil until the first
+	// ANALYZE. In-memory only: never persisted, invalidated by bulk
+	// reorganization (modify, copy), maintained incrementally by DML.
+	Stat *Stats
 }
 
 // UserAttrs returns the explicitly declared attributes.

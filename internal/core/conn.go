@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"tdbms/internal/buffer"
+	"tdbms/internal/exec"
 	"tdbms/internal/plan"
 	"tdbms/internal/session"
 	"tdbms/internal/temporal"
@@ -228,6 +229,13 @@ func (c *Conn) lockSpec(stmt tquel.Statement) stmtLocks {
 			return stmtLocks{read: []string{s.Rel}}
 		}
 		return stmtLocks{write: []string{s.Rel}}
+	case *tquel.AnalyzeStmt:
+		// Rebuilding one relation's statistics mutates its descriptor;
+		// the database-wide form serializes on the schema latch.
+		if s.Rel != "" {
+			return stmtLocks{write: []string{s.Rel}}
+		}
+		return stmtLocks{ddlExcl: true}
 	}
 	return stmtLocks{ddlExcl: true}
 }
@@ -422,6 +430,47 @@ func (c *Conn) BufferPolicy() buffer.Policy {
 	return c.bufferPolicy()
 }
 
+// batchCap resolves the session's effective executor batch capacity: the
+// session override when set, the database default otherwise. Zero means
+// tuple-at-a-time.
+func (c *Conn) batchCap() int {
+	if n, ok := c.sess.BatchSize(); ok {
+		return normalizeBatchCap(n)
+	}
+	return normalizeBatchCap(c.opts.BatchSize)
+}
+
+// normalizeBatchCap maps a configured batch size to a capacity: zero asks
+// for the default, negative selects the tuple executor.
+func normalizeBatchCap(n int) int {
+	switch {
+	case n == 0:
+		return exec.DefaultBatchCap
+	case n < 0:
+		return 0
+	default:
+		return n
+	}
+}
+
+// SetBatchSize overrides this session's executor batch size for
+// subsequent retrieves: rows > 0 is a batch capacity, rows == 0 asks for
+// the engine default, rows < 0 selects the tuple-at-a-time executor. Both
+// executors read exactly the same pages in the same order; the setting
+// trades interpretation overhead, not I/O.
+func (c *Conn) SetBatchSize(rows int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sess.SetBatchSize(rows)
+}
+
+// ClearBatchSize removes the session's batch-size override.
+func (c *Conn) ClearBatchSize() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sess.ClearBatchSize()
+}
+
 // viewFor returns the session's cached view of one relation, rebuilding it
 // when the relation's writer stamp has moved and resetting the whole cache
 // when a DDL epoch or the session's buffer policy changed. Views share
@@ -534,6 +583,8 @@ func (db *Conn) execDispatch(stmt tquel.Statement) (*Result, error) {
 		return db.execDelete(s)
 	case *tquel.ReplaceStmt:
 		return db.execReplace(s)
+	case *tquel.AnalyzeStmt:
+		return db.execAnalyze(s)
 	}
 	return nil, fmt.Errorf("core: unsupported statement %T", stmt)
 }

@@ -91,6 +91,7 @@ func (db *Conn) copyIn(s *tquel.CopyStmt) (*Result, error) {
 	}
 	defer func() { _ = f.Close() }() // read-only; nothing to flush
 	desc := h.desc
+	desc.Stat = nil // bulk load bypasses the DML stat hooks; ANALYZE rebuilds
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	n := 0
@@ -169,6 +170,7 @@ func (db *Database) Load(rel string, rows [][]tuple.Value) (int, error) {
 	ls := db.newLatchSet(nil, []string{rel})
 	ls.acquire()
 	defer ls.release()
+	h.desc.Stat = nil // bulk load bypasses the DML stat hooks; ANALYZE rebuilds
 	// A bulk load is a writer statement without per-chain bookkeeping:
 	// stamp the relation and raise the conflict floor so any statement
 	// whose watermark predates the load sees its snapshot as stale.

@@ -200,6 +200,7 @@ func (db *Conn) execModify(s *tquel.ModifyStmt) (*Result, error) {
 	}[s.Method]
 	desc.KeyAttr = s.KeyAttr
 	desc.Fillfactor = ff
+	desc.Stat = nil // page geometry changed wholesale; ANALYZE rebuilds
 	if err := db.saveCatalog(); err != nil {
 		return nil, err
 	}
@@ -529,5 +530,6 @@ func (db *Conn) convertToTwoLevel(h *relHandle, clustered bool) error {
 		return err
 	}
 	h.src = &twoLevelSource{Store: store, primaryBuf: pbuf, historyBuf: hbuf}
+	desc.Stat = nil // storage layout replaced wholesale; ANALYZE rebuilds
 	return nil
 }

@@ -429,6 +429,7 @@ func (db *Conn) insertNew(h *relHandle, tup []byte, valid *tquel.ValidClause, e 
 			return db.removeVersion(h, tup, secTID{rid: rid})
 		}})
 	}
+	statNoteInsert(h, tup)
 	return 1, nil
 }
 
@@ -535,8 +536,25 @@ func (db *Conn) resolveCandidate(h *relHandle, c candidate) (candidate, error) {
 // deleteVersion applies the type-specific delete of Section 4 to one
 // current version. On success it also returns an undo that reverses the
 // whole delete, for callers (replace) with further steps that may fail;
-// on error, any steps already applied have been compensated.
+// on error, any steps already applied have been compensated. Statistics
+// follow the same discipline: noted only on success, and the returned
+// undo re-notes the reversal so a failed replace leaves them consistent.
 func (db *Conn) deleteVersion(h *relHandle, c candidate, now temporal.Time) (undoFn, error) {
+	undo, err := db.deleteVersionRaw(h, c, now)
+	if err != nil {
+		return nil, err
+	}
+	statNoteDelete(h, c.tup)
+	return func() error {
+		if err := undo(); err != nil {
+			return err
+		}
+		statNoteUndelete(h, c.tup)
+		return nil
+	}, nil
+}
+
+func (db *Conn) deleteVersionRaw(h *relHandle, c candidate, now temporal.Time) (undoFn, error) {
 	desc := h.desc
 	c, err := db.resolveCandidate(h, c)
 	if err != nil {
@@ -735,5 +753,6 @@ func (db *Conn) replaceInPlace(h *relHandle, c candidate, newUser []byte) error 
 	if err := h.indexInsertCurrent(newUser, c.rid); err != nil {
 		return unwind(err, undos)
 	}
+	statNoteReplaceImage(h, c.tup, newUser)
 	return nil
 }

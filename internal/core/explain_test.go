@@ -78,6 +78,31 @@ func TestExplainIndexPath(t *testing.T) {
 	}
 }
 
+// TestExplainEstimates checks the est-vs-actual brackets: they appear only
+// once catalog statistics exist (the heuristic path prints none), and after
+// `analyze` every access node shows its cost-model estimate next to the
+// measured rows and pages.
+func TestExplainEstimates(t *testing.T) {
+	db := explainDB(t)
+	plan, err := db.Explain(`retrieve (h.id) where h.amount > 3000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan, "[est rows=") {
+		t.Errorf("estimates shown without statistics:\n%s", plan)
+	}
+	mustExec(t, db, `analyze`)
+	plan, err = db.Explain(`retrieve (h.id) where h.amount > 3000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"[est rows=", "pages=", "| act rows="} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("Explain after analyze:\n%s\nmissing %q", plan, want)
+		}
+	}
+}
+
 func TestExplainErrors(t *testing.T) {
 	db := explainDB(t)
 	if _, err := db.Explain(`append to h (id = 1)`); err == nil {

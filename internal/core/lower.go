@@ -86,6 +86,7 @@ func (db *Conn) varInfo(q *query, v string) plan.VarInfo {
 		info.IdxLevels = cfg.Levels
 		info.IdxConst = qv.idxConst
 	}
+	statInputs(qv, &info)
 	return info
 }
 
@@ -316,6 +317,24 @@ func (l *lowering) lowerSubstProbe(n *plan.Node, sub *plan.Subst) exec.Operator 
 // the temporary, rebinds the variable to it, and marks its restrictions
 // consumed.
 func (l *lowering) materialize(n *plan.Node) (*exec.Materialize, error) {
+	write, finish, err := l.matParts(n)
+	if err != nil {
+		return nil, err
+	}
+	return &exec.Materialize{
+		Node:   n,
+		Att:    l.att,
+		Child:  l.lowerLeaf(n.Children[0], nil),
+		Write:  write,
+		Finish: finish,
+	}, nil
+}
+
+// matParts builds the Write and Finish closures of a detachment, shared by
+// the tuple and batch materialization steps: Write projects the current
+// binding into a fresh temporary, Finish flushes the temporary and rebinds
+// the variable to it.
+func (l *lowering) matParts(n *plan.Node) (write, finish func() error, err error) {
 	q, db := l.q, l.db
 	v := n.Var
 	d := q.qv[v].h.desc
@@ -330,40 +349,36 @@ func (l *lowering) materialize(n *plan.Node) (*exec.Materialize, error) {
 	tmpSchema := d.Schema.Project(idx, nil)
 	buf, err := db.newTempBuffer(db.sess.NextTemp())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	tmp := &tempRel{schema: tmpSchema, hf: heapfile.New(buf, tmpSchema.Width())}
 	q.temps = append(q.temps, tmp)
 	out := tmpSchema.NewTuple()
-	return &exec.Materialize{
-		Node:  n,
-		Att:   l.att,
-		Child: l.lowerLeaf(n.Children[0], nil),
-		Write: func() error {
-			tup := q.env.vars[v].tup
-			for i, srcIdx := range idx {
-				if err := tmpSchema.SetValue(out, i, d.Schema.Value(tup, srcIdx)); err != nil {
-					return err
-				}
-			}
-			_, err := tmp.hf.Insert(out)
-			return err
-		},
-		Finish: func() error {
-			// Flush and drop the frame: the temporary is re-read from
-			// disk by the next phase, as in the prototype (its pages are
-			// part of the fixed input cost of Figure 9).
-			if err := tmp.hf.Buffer().Invalidate(); err != nil {
+	write = func() error {
+		tup := q.env.vars[v].tup
+		for i, srcIdx := range idx {
+			if err := tmpSchema.SetValue(out, i, d.Schema.Value(tup, srcIdx)); err != nil {
 				return err
 			}
-			// After detachment the variable ranges over the temporary;
-			// its single-variable predicates were consumed.
-			q.env.vars[v] = bindingForTemp(d, tmpSchema)
-			q.qv[v].sel = nil
-			q.qv[v].tsel = nil
-			q.qv[v].temp = tmp
-			n.Pages = tmp.hf.Buffer().NumPages()
-			return nil
-		},
-	}, nil
+		}
+		_, err := tmp.hf.Insert(out)
+		return err
+	}
+	finish = func() error {
+		// Flush and drop the frame: the temporary is re-read from
+		// disk by the next phase, as in the prototype (its pages are
+		// part of the fixed input cost of Figure 9).
+		if err := tmp.hf.Buffer().Invalidate(); err != nil {
+			return err
+		}
+		// After detachment the variable ranges over the temporary;
+		// its single-variable predicates were consumed.
+		q.env.vars[v] = bindingForTemp(d, tmpSchema)
+		q.qv[v].sel = nil
+		q.qv[v].tsel = nil
+		q.qv[v].temp = tmp
+		n.Pages = tmp.hf.Buffer().NumPages()
+		return nil
+	}
+	return write, finish, nil
 }

@@ -39,8 +39,9 @@ func TestConfigMatrix(t *testing.T) {
 	}
 }
 
-// matrixCell builds one (type, method) database and checks all four
-// execution variants against the baseline (nil = this cell defines it).
+// matrixCell builds one (type, method) database and checks every execution
+// variant — session × buffer policy × batching mode — against the baseline
+// (nil = this cell defines it).
 func matrixCell(t *testing.T, typ bench.DBType, method string, baseline map[string]string) map[string]string {
 	t.Helper()
 	b, err := BuildMethod(typ, method, configUC, core.Options{})
@@ -94,6 +95,22 @@ func matrixCell(t *testing.T, typ bench.DBType, method string, baseline map[stri
 	b.Inner.DefaultSession().SetBufferPolicy(32, 4)
 	run("direct+pool", b.Inner)
 	b.Inner.DefaultSession().ClearBufferPolicy()
+
+	// Batching axis: the tuple-at-a-time interpreted executor and the batch
+	// executor at its smallest capacity (every batch boundary exercised)
+	// must match the default batch configuration above.
+	tup, err := SessionFor(b, "tuple", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup.SetBatchSize(-1)
+	run("session+tuple", tup)
+	one, err := SessionFor(b, "batch1", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one.SetBatchSize(1)
+	run("session+batch1", one)
 	return baseline
 }
 

@@ -1,0 +1,564 @@
+package exec
+
+import (
+	"tdbms/internal/am"
+	"tdbms/internal/page"
+	"tdbms/internal/plan"
+	"tdbms/internal/secindex"
+)
+
+// This file is the vectorized twin of the tuple cursors: operators exchange
+// fixed-capacity row batches instead of single bindings, amortizing the
+// per-tuple interpretation overhead (virtual dispatch, attribution
+// bracketing) over DefaultBatchCap rows. A batch row is one slot per tuple
+// variable of the query; a leaf fills only its own slot, a join merges the
+// outer row's slots with the inner row's. Filters keep a selection vector
+// instead of copying rows. Attribution brackets move from per-tuple to
+// per-batch — binding and predicate evaluation cause no page I/O, so the
+// per-operator page sums are identical to the tuple executor's.
+
+// DefaultBatchCap is the row capacity of a batch when the caller does not
+// choose one.
+const DefaultBatchCap = 256
+
+// Batch is a fixed-capacity block of rows. Rows are stored row-major
+// (slots per row); sel holds the indices of the rows still selected, in
+// order. A leaf appends only qualifying rows, so for leaves sel is the
+// identity; filters compact sel in place without moving rows.
+type Batch struct {
+	slots int
+	cap   int
+	n     int
+	tups  [][]byte
+	sel   []int
+}
+
+// NewBatch allocates a batch of capacity rows with slots slots per row.
+func NewBatch(slots, capacity int) *Batch {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Batch{
+		slots: slots,
+		cap:   capacity,
+		tups:  make([][]byte, slots*capacity),
+		sel:   make([]int, 0, capacity),
+	}
+}
+
+// Reset empties the batch for refilling. The used region is cleared so a
+// slot a previous producer left bound does not leak into the next fill
+// (joins rely on nil slots meaning "not bound by this subtree").
+func (b *Batch) Reset() {
+	used := b.tups[:b.n*b.slots]
+	for i := range used {
+		used[i] = nil
+	}
+	b.n = 0
+	b.sel = b.sel[:0]
+}
+
+// Slots is the number of tuple slots per row.
+func (b *Batch) Slots() int { return b.slots }
+
+// Len is the number of selected rows.
+func (b *Batch) Len() int { return len(b.sel) }
+
+// Sel is the selection vector: indices of the selected rows, in order.
+func (b *Batch) Sel() []int { return b.sel }
+
+// Full reports whether the batch has no room for another row.
+func (b *Batch) Full() bool { return b.n == b.cap }
+
+// Room is the number of rows the batch can still take.
+func (b *Batch) Room() int { return b.cap - b.n }
+
+// Row returns the slot slice of row i.
+func (b *Batch) Row(i int) [][]byte { return b.tups[i*b.slots : (i+1)*b.slots] }
+
+// AddRow appends a selected row and returns its slot slice for the caller
+// to fill. The batch must not be full.
+func (b *Batch) AddRow() [][]byte {
+	i := b.n
+	b.n++
+	b.sel = append(b.sel, i)
+	return b.Row(i)
+}
+
+// AddMerged appends a selected row combining an outer and an inner row:
+// the outer slots are copied, then every slot the inner row binds
+// overrides. Slot slices reference the same tuple bytes as the sources,
+// which remain valid after the source batches are reset (access-method
+// iterators hand out copies).
+func (b *Batch) AddMerged(outer, inner [][]byte) {
+	row := b.AddRow()
+	copy(row, outer)
+	for s, tup := range inner {
+		if tup != nil {
+			row[s] = tup
+		}
+	}
+}
+
+// Keep compacts the selection vector to the rows pred accepts, in order.
+func (b *Batch) Keep(pred func(i int) (bool, error)) error {
+	out := b.sel[:0]
+	for _, i := range b.sel {
+		ok, err := pred(i)
+		if err != nil {
+			b.sel = out
+			return err
+		}
+		if ok {
+			out = append(out, i)
+		}
+	}
+	b.sel = out
+	return nil
+}
+
+// BatchOperator is a cursor over batches of qualified rows. NextBatch
+// resets b and fills it; returning ok means b holds at least one selected
+// row (an operator whose upstream produced a batch that filtered to
+// nothing keeps pulling internally). After NextBatch returns false it
+// keeps returning false until the operator is re-Opened.
+type BatchOperator interface {
+	Open() error
+	NextBatch(b *Batch) (bool, error)
+	Close() error
+}
+
+// RunBatches drives a root batch operator to exhaustion using b as the
+// exchange buffer — the batch twin of Run.
+func RunBatches(root BatchOperator, b *Batch) error {
+	if err := root.Open(); err != nil {
+		return closeBatchOp(root, err)
+	}
+	for {
+		ok, err := root.NextBatch(b)
+		if err != nil {
+			return closeBatchOp(root, err)
+		}
+		if !ok {
+			return root.Close()
+		}
+	}
+}
+
+// closeBatchOp closes op, keeping the earlier error if there was one.
+func closeBatchOp(op BatchOperator, err error) error {
+	cerr := op.Close()
+	if err != nil {
+		return err
+	}
+	return cerr
+}
+
+// BatchScan is the batch twin of Scan: it drains its access-method
+// iterator into the batch, offering each tuple to Bind and storing the
+// qualifiers in the scan's own slot. One attribution bracket covers the
+// whole fill, instead of one per tuple.
+type BatchScan struct {
+	Node      *plan.Node
+	Att       *Attribution
+	Start     func() (am.Iterator, error)
+	Bind      func(rid page.RID, tup []byte) (bool, error)
+	End       func()
+	Readahead int
+	// Slot is the scan's variable's slot in the batch rows.
+	Slot int
+
+	it   am.Iterator
+	bit  am.BlockIterator // non-nil when it delivers tuples page-at-a-time
+	blk  am.Block
+	done bool
+}
+
+// Open implements BatchOperator.
+func (s *BatchScan) Open() error {
+	prev := s.Att.Enter(s.Node)
+	defer s.Att.Leave(prev)
+	it, err := s.Start()
+	if err != nil {
+		return err
+	}
+	if h, ok := it.(am.ReadaheadHinter); ok && s.Readahead > 0 {
+		h.SetReadahead(s.Readahead)
+	}
+	s.it = it
+	s.bit, _ = it.(am.BlockIterator)
+	s.done = false
+	return nil
+}
+
+// NextBatch implements BatchOperator. When the iterator supports the block
+// protocol, each underlying page is fetched once for all its tuples — the
+// vectorization that makes the batch executor faster than the tuple one —
+// instead of once per tuple; the pages read are identical either way.
+func (s *BatchScan) NextBatch(b *Batch) (bool, error) {
+	if s.done {
+		return false, nil
+	}
+	b.Reset()
+	prev := s.Att.Enter(s.Node)
+	defer s.Att.Leave(prev)
+	for !b.Full() {
+		if s.bit != nil {
+			ok, err := s.bit.NextBlock(&s.blk, b.Room())
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				s.done = true
+				if s.End != nil {
+					s.End()
+				}
+				break
+			}
+			for i, tup := range s.blk.Tups {
+				pass, err := s.Bind(s.blk.RIDs[i], tup)
+				if err != nil {
+					return false, err
+				}
+				if pass {
+					b.AddRow()[s.Slot] = tup
+					s.Node.ActRows++
+				}
+			}
+			continue
+		}
+		rid, tup, ok, err := s.it.Next()
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			s.done = true
+			if s.End != nil {
+				s.End()
+			}
+			break
+		}
+		pass, err := s.Bind(rid, tup)
+		if err != nil {
+			return false, err
+		}
+		if pass {
+			b.AddRow()[s.Slot] = tup
+			s.Node.ActRows++
+		}
+	}
+	return b.Len() > 0, nil
+}
+
+// Close implements BatchOperator.
+func (s *BatchScan) Close() error {
+	if s.it == nil {
+		return nil
+	}
+	err := s.it.Close()
+	s.it = nil
+	return err
+}
+
+// BatchIndexScan resolves tuple ids through a secondary index and fetches
+// versions in batch. Unlike the tuple IndexScan, Fetch returns the fetched
+// tuple so the scan can store it in its slot.
+type BatchIndexScan struct {
+	Node   *plan.Node
+	Att    *Attribution
+	Lookup func() ([]secindex.TID, error)
+	Fetch  func(tid secindex.TID) ([]byte, bool, error)
+	End    func()
+	Slot   int
+
+	tids []secindex.TID
+	i    int
+	done bool
+}
+
+// Open implements BatchOperator.
+func (x *BatchIndexScan) Open() error {
+	prev := x.Att.Enter(x.Node)
+	defer x.Att.Leave(prev)
+	tids, err := x.Lookup()
+	if err != nil {
+		return err
+	}
+	x.tids, x.i, x.done = tids, 0, false
+	return nil
+}
+
+// NextBatch implements BatchOperator.
+func (x *BatchIndexScan) NextBatch(b *Batch) (bool, error) {
+	if x.done {
+		return false, nil
+	}
+	b.Reset()
+	prev := x.Att.Enter(x.Node)
+	defer x.Att.Leave(prev)
+	for !b.Full() {
+		if x.i >= len(x.tids) {
+			x.done = true
+			if x.End != nil {
+				x.End()
+			}
+			break
+		}
+		tid := x.tids[x.i]
+		x.i++
+		tup, pass, err := x.Fetch(tid)
+		if err != nil {
+			return false, err
+		}
+		if pass {
+			b.AddRow()[x.Slot] = tup
+			x.Node.ActRows++
+		}
+	}
+	return b.Len() > 0, nil
+}
+
+// Close implements BatchOperator.
+func (x *BatchIndexScan) Close() error {
+	x.tids, x.i = nil, 0
+	return nil
+}
+
+// BatchOnce yields a single batch holding one empty row: the batch cursor
+// of a retrieve with no tuple variables.
+type BatchOnce struct {
+	done bool
+}
+
+// Open implements BatchOperator.
+func (o *BatchOnce) Open() error { o.done = false; return nil }
+
+// NextBatch implements BatchOperator.
+func (o *BatchOnce) NextBatch(b *Batch) (bool, error) {
+	if o.done {
+		return false, nil
+	}
+	o.done = true
+	b.Reset()
+	b.AddRow()
+	return true, nil
+}
+
+// Close implements BatchOperator.
+func (o *BatchOnce) Close() error { return nil }
+
+// BatchFilter re-checks the residual predicates per batch, compacting the
+// selection vector in place — rows are never copied. Rebind installs a
+// row's bindings in the evaluation environment before Pred runs.
+type BatchFilter struct {
+	Node   *plan.Node
+	Child  BatchOperator
+	Rebind func(row [][]byte)
+	Pred   func() (bool, error)
+}
+
+// Open implements BatchOperator.
+func (f *BatchFilter) Open() error { return f.Child.Open() }
+
+// NextBatch implements BatchOperator.
+func (f *BatchFilter) NextBatch(b *Batch) (bool, error) {
+	for {
+		ok, err := f.Child.NextBatch(b)
+		if err != nil || !ok {
+			return false, err
+		}
+		err = b.Keep(func(i int) (bool, error) {
+			f.Rebind(b.Row(i))
+			return f.Pred()
+		})
+		if err != nil {
+			return false, err
+		}
+		if b.Len() > 0 {
+			f.Node.ActRows += int64(b.Len())
+			return true, nil
+		}
+	}
+}
+
+// Close implements BatchOperator.
+func (f *BatchFilter) Close() error { return f.Child.Close() }
+
+// BatchProject is the consuming root of a batch pipeline: it rebinds each
+// selected row and runs Emit, which evaluates the target list (or
+// accumulates an aggregate) from the environment.
+type BatchProject struct {
+	Node   *plan.Node
+	Child  BatchOperator
+	Rebind func(row [][]byte)
+	Emit   func() error
+}
+
+// Open implements BatchOperator.
+func (p *BatchProject) Open() error { return p.Child.Open() }
+
+// NextBatch implements BatchOperator.
+func (p *BatchProject) NextBatch(b *Batch) (bool, error) {
+	ok, err := p.Child.NextBatch(b)
+	if err != nil || !ok {
+		return false, err
+	}
+	for _, i := range b.Sel() {
+		p.Rebind(b.Row(i))
+		if err := p.Emit(); err != nil {
+			return false, err
+		}
+		p.Node.ActRows++
+	}
+	return true, nil
+}
+
+// Close implements BatchOperator.
+func (p *BatchProject) Close() error { return p.Child.Close() }
+
+// BatchNestedLoop probes the inner side once per outer row, merging each
+// inner row into the output batch. The inner cursor is re-opened per outer
+// row after Rebind installs that row's bindings (a substitution probe's
+// Start reads the join key from the environment). The loop's state — the
+// current outer batch, outer row, and partially drained inner batch —
+// survives across NextBatch calls, so a full output batch pauses and
+// resumes exactly where it stopped.
+type BatchNestedLoop struct {
+	Node         *plan.Node
+	Outer, Inner BatchOperator
+	Rebind       func(row [][]byte)
+	// OuterBuf and InnerBuf are the loop's private exchange batches; the
+	// output batch merges rows from both.
+	OuterBuf, InnerBuf *Batch
+
+	obValid   bool // OuterBuf holds rows; oi indexes its selection
+	oi        int
+	innerOpen bool // Inner is open for the current outer row
+	ibValid   bool // InnerBuf holds rows; ii indexes its selection
+	ii        int
+	done      bool
+}
+
+// Open implements BatchOperator.
+func (n *BatchNestedLoop) Open() error {
+	n.obValid, n.oi = false, 0
+	n.innerOpen, n.ibValid, n.ii = false, false, 0
+	n.done = false
+	return n.Outer.Open()
+}
+
+// NextBatch implements BatchOperator.
+func (n *BatchNestedLoop) NextBatch(b *Batch) (bool, error) {
+	if n.done {
+		return false, nil
+	}
+	b.Reset()
+	for {
+		if !n.obValid {
+			ok, err := n.Outer.NextBatch(n.OuterBuf)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				n.done = true
+				return b.Len() > 0, nil
+			}
+			n.obValid, n.oi = true, 0
+		}
+		for n.oi < n.OuterBuf.Len() {
+			orow := n.OuterBuf.Row(n.OuterBuf.Sel()[n.oi])
+			if !n.innerOpen {
+				n.Rebind(orow)
+				if err := n.Inner.Open(); err != nil {
+					return false, err
+				}
+				n.innerOpen, n.ibValid, n.ii = true, false, 0
+			}
+			for {
+				if !n.ibValid {
+					ok, err := n.Inner.NextBatch(n.InnerBuf)
+					if err != nil {
+						return false, err
+					}
+					if !ok {
+						if err := n.Inner.Close(); err != nil {
+							return false, err
+						}
+						n.innerOpen = false
+						n.oi++
+						break
+					}
+					n.ibValid, n.ii = true, 0
+				}
+				for n.ii < n.InnerBuf.Len() {
+					if b.Full() {
+						return true, nil
+					}
+					b.AddMerged(orow, n.InnerBuf.Row(n.InnerBuf.Sel()[n.ii]))
+					n.Node.ActRows++
+					n.ii++
+				}
+				n.ibValid = false
+			}
+		}
+		n.obValid = false
+	}
+}
+
+// Close implements BatchOperator.
+func (n *BatchNestedLoop) Close() error {
+	var first error
+	if n.innerOpen {
+		first = n.Inner.Close()
+		n.innerOpen = false
+	}
+	if err := n.Outer.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// BatchMaterialize is the batch twin of Materialize: it drains Child
+// batch-wise, rebinding and writing each selected row into the temporary
+// under one attribution bracket per batch, then runs Finish under the
+// materialization node.
+type BatchMaterialize struct {
+	Node   *plan.Node
+	Att    *Attribution
+	Child  BatchOperator
+	Buf    *Batch
+	Rebind func(row [][]byte)
+	Write  func() error
+	Finish func() error
+}
+
+// Run drains the child and builds the temporary.
+func (m *BatchMaterialize) Run() error {
+	if err := m.Child.Open(); err != nil {
+		return closeBatchOp(m.Child, err)
+	}
+	for {
+		ok, err := m.Child.NextBatch(m.Buf)
+		if err != nil {
+			return closeBatchOp(m.Child, err)
+		}
+		if !ok {
+			break
+		}
+		prev := m.Att.Enter(m.Node)
+		for _, i := range m.Buf.Sel() {
+			m.Rebind(m.Buf.Row(i))
+			if err := m.Write(); err != nil {
+				m.Att.Leave(prev)
+				return closeBatchOp(m.Child, err)
+			}
+		}
+		m.Att.Leave(prev)
+	}
+	if err := m.Child.Close(); err != nil {
+		return err
+	}
+	prev := m.Att.Enter(m.Node)
+	defer m.Att.Leave(prev)
+	return m.Finish()
+}

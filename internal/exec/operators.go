@@ -70,6 +70,7 @@ func (s *Scan) Next() (bool, error) {
 			return false, err
 		}
 		if pass {
+			s.Node.ActRows++
 			return true, nil
 		}
 	}
@@ -124,6 +125,7 @@ func (x *IndexScan) Next() (bool, error) {
 			return false, err
 		}
 		if pass {
+			x.Node.ActRows++
 			return true, nil
 		}
 	}
@@ -198,6 +200,7 @@ func (n *NestedLoop) Next() (bool, error) {
 			return false, err
 		}
 		if ok {
+			n.Node.ActRows++
 			return true, nil
 		}
 		if err := n.Inner.Close(); err != nil {
@@ -245,6 +248,7 @@ func (f *Filter) Next() (bool, error) {
 			return false, err
 		}
 		if ok {
+			f.Node.ActRows++
 			return true, nil
 		}
 	}
@@ -275,6 +279,7 @@ func (p *Project) Next() (bool, error) {
 	if err := p.Emit(); err != nil {
 		return false, err
 	}
+	p.Node.ActRows++
 	return true, nil
 }
 

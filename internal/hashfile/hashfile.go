@@ -245,6 +245,45 @@ func (it *chainIter) Next() (page.RID, []byte, bool, error) {
 	return page.NilRID, nil, false, nil
 }
 
+// NextBlock implements am.BlockIterator: the remaining qualifiers of the
+// chain page under the cursor, one fetch for all of them.
+func (it *chainIter) NextBlock(blk *am.Block, max int) (bool, error) {
+	blk.Reset()
+	if max < 1 {
+		max = 1
+	}
+	for it.cur != page.Nil {
+		p, err := it.f.buf.Fetch(it.cur)
+		if err != nil {
+			return false, err
+		}
+		for it.slot < p.Slots() && blk.Len() < max {
+			s := it.slot
+			it.slot++
+			t, err := p.Get(s)
+			if err == page.ErrBadSlot {
+				continue
+			}
+			if err != nil {
+				return false, err
+			}
+			if it.filter && it.f.meta.Key.Extract(t) != it.key {
+				continue
+			}
+			blk.Add(page.RID{Page: it.cur, Slot: uint16(s)}, t)
+		}
+		if it.slot < p.Slots() {
+			return true, nil // stopped at max; cursor stays on this page
+		}
+		it.cur = p.Next()
+		it.slot = 0
+		if blk.Len() > 0 {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
 // Close implements am.Iterator, releasing the chain position.
 func (it *chainIter) Close() error {
 	it.cur = page.Nil
@@ -282,16 +321,7 @@ func (it *scanIter) Next() (page.RID, []byte, bool, error) {
 			it.started = true
 		}
 		for it.cur != page.Nil {
-			var p *page.Page
-			var err error
-			if ahead := it.ahead; ahead > 0 && int(it.cur) < it.f.meta.Primary {
-				if rest := it.f.meta.Primary - int(it.cur) - 1; ahead > rest {
-					ahead = rest
-				}
-				p, err = it.f.buf.FetchAhead(it.cur, ahead)
-			} else {
-				p, err = it.f.buf.Fetch(it.cur)
-			}
+			p, err := it.fetch()
 			if err != nil {
 				return page.NilRID, nil, false, err
 			}
@@ -311,6 +341,68 @@ func (it *scanIter) Next() (page.RID, []byte, bool, error) {
 			}
 			it.cur = p.Next()
 			it.slot = 0
+		}
+		it.primary++
+		it.started = false
+	}
+}
+
+// fetch brings the cursor's page in, prefetching ahead within the
+// contiguous primary region exactly as Next does.
+func (it *scanIter) fetch() (*page.Page, error) {
+	if ahead := it.ahead; ahead > 0 && int(it.cur) < it.f.meta.Primary {
+		if rest := it.f.meta.Primary - int(it.cur) - 1; ahead > rest {
+			ahead = rest
+		}
+		return it.f.buf.FetchAhead(it.cur, ahead)
+	}
+	return it.f.buf.Fetch(it.cur)
+}
+
+// NextBlock implements am.BlockIterator: the remaining tuples of the page
+// under the cursor, one fetch for all of them.
+func (it *scanIter) NextBlock(blk *am.Block, max int) (bool, error) {
+	blk.Reset()
+	if it.closed {
+		return false, nil
+	}
+	if max < 1 {
+		max = 1
+	}
+	for {
+		if !it.started {
+			if it.primary >= it.f.meta.Primary {
+				return false, nil
+			}
+			it.cur = page.ID(it.primary)
+			it.slot = 0
+			it.started = true
+		}
+		for it.cur != page.Nil {
+			p, err := it.fetch()
+			if err != nil {
+				return false, err
+			}
+			for it.slot < p.Slots() && blk.Len() < max {
+				s := it.slot
+				it.slot++
+				t, err := p.Get(s)
+				if err == page.ErrBadSlot {
+					continue
+				}
+				if err != nil {
+					return false, err
+				}
+				blk.Add(page.RID{Page: it.cur, Slot: uint16(s)}, t)
+			}
+			if it.slot < p.Slots() {
+				return true, nil // stopped at max; cursor stays on this page
+			}
+			it.cur = p.Next()
+			it.slot = 0
+			if blk.Len() > 0 {
+				return true, nil
+			}
 		}
 		it.primary++
 		it.started = false

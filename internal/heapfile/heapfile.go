@@ -208,6 +208,55 @@ func (it *scanIter) Next() (page.RID, []byte, bool, error) {
 	return page.NilRID, nil, false, nil
 }
 
+// NextBlock implements am.BlockIterator: the remaining qualifiers of the
+// page under the cursor, one fetch for all of them.
+func (it *scanIter) NextBlock(blk *am.Block, max int) (bool, error) {
+	blk.Reset()
+	if it.closed {
+		return false, nil
+	}
+	if max < 1 {
+		max = 1
+	}
+	n := it.f.buf.NumPages()
+	for int(it.cur) < n {
+		var p *page.Page
+		var err error
+		if it.ahead > 0 {
+			p, err = it.f.buf.FetchAhead(it.cur, it.ahead)
+		} else {
+			p, err = it.f.buf.Fetch(it.cur)
+		}
+		if err != nil {
+			return false, err
+		}
+		for it.slot < p.Slots() && blk.Len() < max {
+			s := it.slot
+			it.slot++
+			t, err := p.Get(s)
+			if err == page.ErrBadSlot {
+				continue
+			}
+			if err != nil {
+				return false, err
+			}
+			if it.filter && it.f.key.Extract(t) != it.key {
+				continue
+			}
+			blk.Add(page.RID{Page: it.cur, Slot: uint16(s)}, t)
+		}
+		if it.slot < p.Slots() {
+			return true, nil // stopped at max; cursor stays on this page
+		}
+		it.cur++
+		it.slot = 0
+		if blk.Len() > 0 {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
 // Close implements am.Iterator, releasing the scan position.
 func (it *scanIter) Close() error {
 	it.closed = true

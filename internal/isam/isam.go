@@ -423,6 +423,69 @@ func (it *probeIter) Next() (page.RID, []byte, bool, error) {
 	}
 }
 
+// NextBlock implements am.BlockIterator: the remaining in-range tuples of
+// the candidate page under the cursor, one fetch for all of them.
+func (it *probeIter) NextBlock(blk *am.Block, max int) (bool, error) {
+	blk.Reset()
+	if it.done {
+		return false, nil
+	}
+	if max < 1 {
+		max = 1
+	}
+	if !it.located {
+		start, stop, openEnd, err := it.f.probeRange(it.lo, it.hi)
+		if err != nil {
+			return false, err
+		}
+		it.primary, it.cur, it.stop, it.openEnd = start, start, stop, openEnd
+		it.located = true
+	}
+	for {
+		for it.cur != page.Nil {
+			p, err := it.f.buf.Fetch(it.cur)
+			if err != nil {
+				return false, err
+			}
+			for it.slot < p.Slots() && blk.Len() < max {
+				s := it.slot
+				it.slot++
+				t, err := p.Get(s)
+				if err == page.ErrBadSlot {
+					continue
+				}
+				if err != nil {
+					return false, err
+				}
+				k := it.f.meta.Key.Extract(t)
+				if k > it.hi {
+					it.sawGreater = true
+				}
+				if k < it.lo || k > it.hi {
+					continue
+				}
+				blk.Add(page.RID{Page: it.cur, Slot: uint16(s)}, t)
+			}
+			if it.slot < p.Slots() {
+				return true, nil // stopped at max; cursor stays on this page
+			}
+			it.cur = p.Next()
+			it.slot = 0
+			if blk.Len() > 0 {
+				return true, nil
+			}
+		}
+		// Finished one data page group.
+		next := it.primary + 1
+		if it.sawGreater || int(next) >= it.f.meta.DataPages ||
+			(it.primary >= it.stop && !it.openEnd) {
+			it.done = true
+			return false, nil
+		}
+		it.primary, it.cur, it.slot = next, next, 0
+	}
+}
+
 // Close implements am.Iterator, releasing the probe position.
 func (it *probeIter) Close() error {
 	it.done = true
@@ -459,16 +522,7 @@ func (it *scanIter) Next() (page.RID, []byte, bool, error) {
 			it.started = true
 		}
 		for it.cur != page.Nil {
-			var p *page.Page
-			var err error
-			if ahead := it.ahead; ahead > 0 && int(it.cur) < it.f.meta.DataPages {
-				if rest := it.f.meta.DataPages - int(it.cur) - 1; ahead > rest {
-					ahead = rest
-				}
-				p, err = it.f.buf.FetchAhead(it.cur, ahead)
-			} else {
-				p, err = it.f.buf.Fetch(it.cur)
-			}
+			p, err := it.fetch()
 			if err != nil {
 				return page.NilRID, nil, false, err
 			}
@@ -488,6 +542,68 @@ func (it *scanIter) Next() (page.RID, []byte, bool, error) {
 			}
 			it.cur = p.Next()
 			it.slot = 0
+		}
+		it.primary++
+		it.started = false
+	}
+}
+
+// fetch brings the cursor's page in, prefetching ahead within the
+// contiguous data-page region exactly as Next does.
+func (it *scanIter) fetch() (*page.Page, error) {
+	if ahead := it.ahead; ahead > 0 && int(it.cur) < it.f.meta.DataPages {
+		if rest := it.f.meta.DataPages - int(it.cur) - 1; ahead > rest {
+			ahead = rest
+		}
+		return it.f.buf.FetchAhead(it.cur, ahead)
+	}
+	return it.f.buf.Fetch(it.cur)
+}
+
+// NextBlock implements am.BlockIterator: the remaining tuples of the page
+// under the cursor, one fetch for all of them.
+func (it *scanIter) NextBlock(blk *am.Block, max int) (bool, error) {
+	blk.Reset()
+	if it.closed {
+		return false, nil
+	}
+	if max < 1 {
+		max = 1
+	}
+	for {
+		if !it.started {
+			if it.primary >= it.f.meta.DataPages {
+				return false, nil
+			}
+			it.cur = page.ID(it.primary)
+			it.slot = 0
+			it.started = true
+		}
+		for it.cur != page.Nil {
+			p, err := it.fetch()
+			if err != nil {
+				return false, err
+			}
+			for it.slot < p.Slots() && blk.Len() < max {
+				s := it.slot
+				it.slot++
+				t, err := p.Get(s)
+				if err == page.ErrBadSlot {
+					continue
+				}
+				if err != nil {
+					return false, err
+				}
+				blk.Add(page.RID{Page: it.cur, Slot: uint16(s)}, t)
+			}
+			if it.slot < p.Slots() {
+				return true, nil // stopped at max; cursor stays on this page
+			}
+			it.cur = p.Next()
+			it.slot = 0
+			if blk.Len() > 0 {
+				return true, nil
+			}
 		}
 		it.primary++
 		it.started = false

@@ -35,6 +35,21 @@ type VarInfo struct {
 	IdxStructure string
 	IdxLevels    int
 	IdxConst     int64
+
+	// Statistics-derived cost inputs, present when the relation has been
+	// ANALYZEd (HasStats). Each available access path carries the
+	// estimated output rows and page reads of taking it, computed by the
+	// caller from catalog statistics and storage geometry — the planner
+	// stays storage-free and only compares them (cost.go). Without stats
+	// the fixed heuristic order applies and plans carry no estimates.
+	HasStats              bool
+	SeqRows, SeqPages     float64
+	ProbeRows, ProbePages float64 // valid when HasKeyConst && Keyed
+	IdxRows, IdxPages     float64 // valid when IdxName != ""
+	RangeRows, RangePages float64 // valid when (HasLo || HasHi) && Ordered
+	// One substitution probe into this relation: expected matching
+	// versions and page reads per outer tuple.
+	SubstRows, SubstPages float64
 }
 
 // JoinEq is a join conjunct `LVar.LAttr = RVar.RAttr` in where-clause
@@ -94,6 +109,13 @@ func Build(in Input) *Tree {
 			if sub.Flipped {
 				keyVar, keyAttr = j.LVar, j.LAttr
 			}
+			probe := substProbeNode(vi[sub.ProbeVar], keyVar, keyAttr)
+			if pv := vi[sub.ProbeVar]; d.HasStats && pv.HasStats {
+				outer := bestPath(*d)
+				probe.HasEst = true
+				probe.EstRows = outer.rows * pv.SubstRows
+				probe.EstPages = outer.rows * pv.SubstPages
+			}
 			root = &Node{
 				Op:  OpNestLoop,
 				Sub: sub,
@@ -101,7 +123,7 @@ func Build(in Input) *Tree {
 					sub.DetachVar, sub.ProbeVar),
 				Children: []*Node{
 					tempScanNode(d),
-					substProbeNode(vi[sub.ProbeVar], keyVar, keyAttr),
+					probe,
 				},
 			}
 		} else if a.Sels > 0 && b.Sels > 0 {
@@ -160,10 +182,13 @@ func Build(in Input) *Tree {
 	return t
 }
 
-// Leaf builds the one-variable access node, applying the access-path
-// decision: a key constant on a keyed file probes; otherwise a usable
-// secondary index probes the index; otherwise key bounds on an ordered
-// file range-scan; otherwise the relation is scanned sequentially.
+// Leaf builds the one-variable access node. With statistics the decision
+// is cost-based: the candidate paths' estimated page reads are compared
+// and the estimate is recorded on the node (bestPath, cost.go). Without
+// statistics the heuristic order applies: a key constant on a keyed file
+// probes; otherwise a usable secondary index probes the index; otherwise
+// key bounds on an ordered file range-scan; otherwise the relation is
+// scanned sequentially.
 func Leaf(v VarInfo) *Node {
 	n := &Node{
 		Var:     v.Var,
@@ -172,21 +197,24 @@ func Leaf(v VarInfo) *Node {
 		Sels:    v.Sels + v.TSels,
 		Pages:   v.Pages,
 	}
+	if v.HasStats {
+		best := bestPath(v)
+		n.Op = best.op
+		n.Detail = leafDetail(v, best.op)
+		n.HasEst, n.EstRows, n.EstPages = true, best.rows, best.pages
+		return n
+	}
 	switch {
 	case v.HasKeyConst && v.Keyed:
 		n.Op = OpProbe
-		n.Detail = fmt.Sprintf("%s, %s = %s", probeKind(v.Method), v.KeyAttr, v.KeyConst)
 	case !v.HasKeyConst && v.IdxName != "":
 		n.Op = OpIndexScan
-		n.Detail = fmt.Sprintf("secondary index %s (%d-level %s) on %s = %d",
-			v.IdxName, v.IdxLevels, v.IdxStructure, v.IdxAttr, v.IdxConst)
 	case (v.HasLo || v.HasHi) && v.Ordered:
 		n.Op = OpRangeScan
-		n.Detail = fmt.Sprintf("range probe, %s in [%s, %s]", v.KeyAttr, bound(v.HasLo, v.KeyLo, "-inf"), bound(v.HasHi, v.KeyHi, "+inf"))
 	default:
 		n.Op = OpSeqScan
-		n.Detail = "sequential scan"
 	}
+	n.Detail = leafDetail(v, n.Op)
 	return n
 }
 
@@ -244,12 +272,15 @@ func substProbeNode(v *VarInfo, keyVar, keyAttr string) *Node {
 
 // chooseSubstitution picks the join conjunct to drive a tuple-substitution
 // join: one side must equate a variable's storage key on a keyed file.
-// Conjuncts are considered in where-clause order; a hash probe is
-// preferred over any other keyed structure because each probe costs a
-// single bucket chain.
+// When both sides carry statistics, the candidate minimizing estimated
+// pages (outer rows times per-probe pages) wins; otherwise conjuncts are
+// considered in where-clause order and a hash probe is preferred over any
+// other keyed structure because each probe costs a single bucket chain.
 func chooseSubstitution(in Input, vi map[string]*VarInfo) *Subst {
 	var best *Subst
 	bestHash := false
+	bestCost := 0.0
+	costed := false
 	for i, j := range in.Joins {
 		sides := [2]struct {
 			probeVar, probeAttr, detachVar string
@@ -259,17 +290,28 @@ func chooseSubstitution(in Input, vi map[string]*VarInfo) *Subst {
 			{j.RVar, j.RAttr, j.LVar, true},
 		}
 		for _, s := range sides {
-			pv := vi[s.probeVar]
-			if pv == nil || vi[s.detachVar] == nil {
+			pv, dv := vi[s.probeVar], vi[s.detachVar]
+			if pv == nil || dv == nil {
 				continue
 			}
 			if pv.KeyAttr == "" || !strings.EqualFold(pv.KeyAttr, s.probeAttr) || !pv.Keyed {
 				continue
 			}
+			cand := &Subst{ProbeVar: s.probeVar, DetachVar: s.detachVar, EqIndex: i, Flipped: s.flipped}
+			if pv.HasStats && dv.HasStats {
+				cost := substCost(*dv, *pv)
+				if !costed || cost < bestCost {
+					best, bestCost, costed = cand, cost, true
+					bestHash = pv.Method == "hash"
+				}
+				continue
+			}
+			if costed {
+				continue // a costed candidate outranks uncosted ones
+			}
 			isHash := pv.Method == "hash"
 			if best == nil || (isHash && !bestHash) {
-				best = &Subst{ProbeVar: s.probeVar, DetachVar: s.detachVar, EqIndex: i, Flipped: s.flipped}
-				bestHash = isHash
+				best, bestHash = cand, isHash
 			}
 		}
 	}

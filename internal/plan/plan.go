@@ -121,9 +121,19 @@ type Node struct {
 	Sub      *Subst // substitution choice (OpNestLoop only)
 	Children []*Node
 
+	// Cost-model annotations, set by the planner when the relation has
+	// catalog statistics (HasEst false means the heuristic path chose the
+	// operator and no estimate is printed or asserted).
+	HasEst   bool
+	EstRows  float64 // estimated rows the operator produces
+	EstPages float64 // estimated pages the operator reads
+
 	// IO is filled in by the executor: the page accesses attributed to
 	// this operator during the run.
 	IO IOStats
+	// ActRows counts the rows the operator actually produced, for the
+	// estimate-vs-actual report.
+	ActRows int64
 }
 
 // Subst records a tuple-substitution decision on a join conjunct

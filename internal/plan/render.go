@@ -33,7 +33,11 @@ func renderNode(b *strings.Builder, n *Node, depth int) {
 	if n == nil {
 		return
 	}
-	fmt.Fprintf(b, "%s%s  [in=%d out=%d]\n", strings.Repeat("  ", depth), n.describe(), n.IO.Reads, n.IO.Writes)
+	fmt.Fprintf(b, "%s%s  [in=%d out=%d]", strings.Repeat("  ", depth), n.describe(), n.IO.Reads, n.IO.Writes)
+	if n.HasEst {
+		fmt.Fprintf(b, "  [est rows=%.0f pages=%.0f | act rows=%d pages=%d]", n.EstRows, n.EstPages, n.ActRows, n.IO.Reads)
+	}
+	b.WriteString("\n")
 	for _, c := range n.Children {
 		renderNode(b, c, depth+1)
 	}

@@ -102,6 +102,16 @@ func (f *entryFile) withAccount(a *buffer.Account) *entryFile {
 // Config returns the index description.
 func (ix *Index) Config() Config { return ix.cfg }
 
+// Pages reports the index's size in pages across its entry files — the
+// planner's cost input for an index access.
+func (ix *Index) Pages() int {
+	n := ix.cur.buf.NumPages()
+	if ix.hist != nil {
+		n += ix.hist.buf.NumPages()
+	}
+	return n
+}
+
 // Insert records a new current version.
 func (ix *Index) Insert(key int64, tid TID) error {
 	return ix.cur.insert(key, tid)

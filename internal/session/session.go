@@ -48,6 +48,13 @@ type Session struct {
 	pol    buffer.Policy
 	hasPol bool
 
+	// batch, when set, overrides the database's default executor batch
+	// size for this session's retrieves: positive is a row capacity, zero
+	// asks for the engine default, negative selects the tuple-at-a-time
+	// executor.
+	batch    int
+	hasBatch bool
+
 	tmpSeq int
 }
 
@@ -131,6 +138,24 @@ func (s *Session) ClearBufferPolicy() {
 // BufferPolicy returns the override and whether one is set.
 func (s *Session) BufferPolicy() (buffer.Policy, bool) {
 	return s.pol, s.hasPol
+}
+
+// SetBatchSize overrides the session's executor batch size: rows > 0 is a
+// batch capacity, rows == 0 asks for the engine default, rows < 0 selects
+// the tuple-at-a-time executor.
+func (s *Session) SetBatchSize(rows int) {
+	s.batch, s.hasBatch = rows, true
+}
+
+// ClearBatchSize removes the override; the session follows the database's
+// default batch size.
+func (s *Session) ClearBatchSize() {
+	s.batch, s.hasBatch = 0, false
+}
+
+// BatchSize returns the override and whether one is set.
+func (s *Session) BatchSize() (int, bool) {
+	return s.batch, s.hasBatch
 }
 
 // NextTemp names the session's next temporary relation. The default

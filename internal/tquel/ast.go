@@ -109,6 +109,12 @@ type IndexStmt struct {
 	Levels    int    // 1 (default) or 2
 }
 
+// AnalyzeStmt is `analyze [Rel]`: rebuild the optimizer statistics of one
+// relation, or of every relation when Rel is empty.
+type AnalyzeStmt struct {
+	Rel string
+}
+
 // Target is one element of a target or assignment list: `name = expr` or a
 // bare attribute reference whose name is inherited.
 type Target struct {
@@ -138,6 +144,7 @@ func (*ModifyStmt) stmt()   {}
 func (*DestroyStmt) stmt()  {}
 func (*CopyStmt) stmt()     {}
 func (*IndexStmt) stmt()    {}
+func (*AnalyzeStmt) stmt()  {}
 
 // Expr is a scalar (where-clause / target-list) expression.
 type Expr interface {
@@ -362,6 +369,13 @@ func (s *CopyStmt) String() string {
 func (s *IndexStmt) String() string {
 	return fmt.Sprintf("index on %s is %s (%s) with structure = %s with levels = %d",
 		s.Rel, s.Name, s.Attr, s.Structure, s.Levels)
+}
+
+func (s *AnalyzeStmt) String() string {
+	if s.Rel == "" {
+		return "analyze"
+	}
+	return "analyze " + s.Rel
 }
 
 func (v *ValidClause) String() string {

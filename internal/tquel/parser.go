@@ -119,6 +119,8 @@ func (p *parser) statement() (Statement, error) {
 		return p.copyStmt()
 	case "index":
 		return p.indexStmt()
+	case "analyze":
+		return p.analyzeStmt()
 	}
 	return nil, fmt.Errorf("tquel: unknown statement %q at offset %d", t.text, t.pos)
 }
@@ -456,6 +458,26 @@ func (p *parser) destroyStmt() (Statement, error) {
 		return nil, err
 	}
 	return &DestroyStmt{Rel: rel}, nil
+}
+
+func (p *parser) analyzeStmt() (Statement, error) {
+	p.next() // analyze
+	s := &AnalyzeStmt{}
+	// The relation is optional and statements are not terminated, so a
+	// following statement keyword belongs to the next statement.
+	if t := p.peek(); t.kind == tokIdent && !isStmtKeyword(t.text) {
+		s.Rel = p.next().text
+	}
+	return s, nil
+}
+
+func isStmtKeyword(w string) bool {
+	switch w {
+	case "range", "retrieve", "append", "delete", "replace",
+		"create", "modify", "destroy", "copy", "index", "analyze":
+		return true
+	}
+	return false
 }
 
 func (p *parser) copyStmt() (Statement, error) {

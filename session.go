@@ -95,6 +95,18 @@ func (s *Session) SetBufferPolicy(frames, readahead int) {
 // unless the database was opened with pooled Options).
 func (s *Session) ClearBufferPolicy() { s.conn.ClearBufferPolicy() }
 
+// SetBatchSize overrides the executor batch size for this session's
+// retrieves: rows > 0 exchanges batches of that many rows between
+// operators, rows == 0 asks for the engine default, and rows < 0 selects
+// the tuple-at-a-time executor. Both executors read exactly the same
+// pages in the same order — the setting trades per-tuple interpretation
+// overhead, never I/O, so reported page counts are identical either way.
+func (s *Session) SetBatchSize(rows int) { s.conn.SetBatchSize(rows) }
+
+// ClearBatchSize removes the session's batch-size override; the session
+// follows the database default again.
+func (s *Session) ClearBatchSize() { s.conn.ClearBatchSize() }
+
 // SetNow gives the session its own "now" without moving the shared clock:
 // queries and updates in this session see the database as of t.
 func (s *Session) SetNow(t time.Time) { s.conn.SetNow(temporal.FromUnix(t.UTC())) }

@@ -46,6 +46,10 @@ type Options struct {
 	// BufferFrames sets the buffer frames per relation. Zero or one gives
 	// the paper's measurement policy of Section 5.1.
 	BufferFrames int
+	// BatchSize sets the executor's batch capacity in rows. Zero picks
+	// the default; a negative value selects the tuple-at-a-time executor.
+	// Page counts are identical either way.
+	BatchSize int
 }
 
 // DB is an open temporal database.
@@ -67,6 +71,7 @@ func Open(opts Options) (*DB, error) {
 		TwoLevelStore:    opts.TwoLevelStore,
 		ClusteredHistory: opts.ClusteredHistory,
 		BufferFrames:     opts.BufferFrames,
+		BatchSize:        opts.BatchSize,
 	})
 	if err != nil {
 		return nil, err
