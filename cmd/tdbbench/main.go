@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	tdbbench [-figure all|5|6|7|8|9|10|5.4] [-maxuc N] [-maxavg N] [-workers N] [-q]
+//	tdbbench [-figure all|5|6|7|8|9|10|5.4] [-maxuc N] [-maxavg N] [-workers N] [-wal] [-q]
 //
 // The eight databases behind Figures 5-9 are built and measured
 // concurrently by a bounded worker pool; -workers (or the
@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"tdbms/internal/bench"
+	"tdbms/internal/core"
 )
 
 func main() {
@@ -32,6 +33,7 @@ func main() {
 	maxAvg := flag.Int("maxavg", 4, "maximum average update count for the Section 5.4 experiment")
 	workers := flag.Int("workers", 0, "benchmark databases to build and measure concurrently (0 = one per CPU; also TDBBENCH_WORKERS)")
 	quiet := flag.Bool("q", false, "suppress progress output")
+	wal := flag.Bool("wal", false, "build the Figure 5-9 databases disk-backed with write-ahead logging (figures must stay byte-identical: the log is below the counted I/O path)")
 	vector := flag.String("vector", "", "comma-separated scale factors for the batch-executor suite (e.g. \"10,100\"); writes -vector-out")
 	vectorOut := flag.String("vector-out", "BENCH_vector.json", "output file for the batch-executor suite")
 	vectorUC := flag.Int("vector-uc", 2, "uniform update rounds before timing the scaled suite")
@@ -52,7 +54,7 @@ func main() {
 		}
 	}
 
-	if err := run(os.Stdout, *figure, *maxUC, *maxAvg, w, *quiet); err != nil {
+	if err := run(os.Stdout, *figure, *maxUC, *maxAvg, w, *wal, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "tdbbench:", err)
 		os.Exit(1)
 	}
@@ -122,7 +124,7 @@ func writeJSON(path string, v any, note func(string, ...any)) error {
 	return nil
 }
 
-func run(out io.Writer, figure string, maxUC, maxAvg, workers int, quiet bool) error {
+func run(out io.Writer, figure string, maxUC, maxAvg, workers int, wal, quiet bool) error {
 	note := func(format string, args ...any) {
 		if !quiet {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -137,9 +139,20 @@ func run(out io.Writer, figure string, maxUC, maxAvg, workers int, quiet bool) e
 	needSeries := all || want["5"] || want["6"] || want["7"] || want["8"] || want["9"]
 	var series map[bench.Key]*bench.Series
 	if needSeries {
-		note("building and evolving the eight benchmark databases (update counts 0..%d)...", maxUC)
+		var opts core.Options
+		if wal {
+			dir, err := os.MkdirTemp("", "tdbbench-wal-")
+			if err != nil {
+				return err
+			}
+			defer func() { _ = os.RemoveAll(dir) }() // scratch databases; figures already printed
+			opts = core.Options{Dir: dir, WAL: true}
+			note("building and evolving the eight benchmark databases under the WAL (update counts 0..%d)...", maxUC)
+		} else {
+			note("building and evolving the eight benchmark databases (update counts 0..%d)...", maxUC)
+		}
 		var err error
-		series, err = bench.AllSeriesWorkers(maxUC, workers, func(k bench.Key, uc int) {
+		series, err = bench.AllSeriesWorkersOpts(maxUC, workers, opts, func(k bench.Key, uc int) {
 			if uc == maxUC {
 				note("  %s/%d%%: done", k.T, k.L)
 			}

@@ -11,16 +11,16 @@ func TestRunSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long")
 	}
-	if err := run(io.Discard, "5,6,7,8,9", 3, 1, 0, true); err != nil {
+	if err := run(io.Discard, "5,6,7,8,9", 3, 1, 0, false, true); err != nil {
 		t.Fatalf("figures 5-9: %v", err)
 	}
-	if err := run(io.Discard, "10", 2, 1, 0, true); err != nil {
+	if err := run(io.Discard, "10", 2, 1, 0, false, true); err != nil {
 		t.Fatalf("figure 10: %v", err)
 	}
-	if err := run(io.Discard, "5.4", 1, 1, 0, true); err != nil {
+	if err := run(io.Discard, "5.4", 1, 1, 0, false, true); err != nil {
 		t.Fatalf("section 5.4: %v", err)
 	}
-	if err := run(io.Discard, "ablations", 2, 1, 0, true); err != nil {
+	if err := run(io.Discard, "ablations", 2, 1, 0, false, true); err != nil {
 		t.Fatalf("ablations: %v", err)
 	}
 }

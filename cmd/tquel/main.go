@@ -29,14 +29,25 @@
 //	\set buffer default   drop the override, back to the database default
 //	                      (one frame, no readahead: the paper's measurement
 //	                      policy from Section 5.1)
+//	\set wal sync|async|default
+//	                      on a -wal database, override this session's commit
+//	                      durability: sync waits for the group commit on
+//	                      every write, async acknowledges without waiting (a
+//	                      crash may lose the statement but never tears it),
+//	                      default restores the database-wide policy
 //	\cold                 invalidate buffers (next query runs cold)
 //	\q                    quit
 //
-// A file argument executes a TQuel script instead of reading stdin.
+// Flags: -dir <path> opens a persistent database (reattaching whatever a
+// previous run left there); -wal additionally commits through the
+// write-ahead log, so a killed shell recovers every acknowledged write on
+// the next open. A file argument executes a TQuel script instead of
+// reading stdin.
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -97,10 +108,12 @@ func (sh *shell) setNow(t temporal.Time) {
 // only ever constructed behind Conn — never here (tdbvet: bufpolicy).
 func (sh *shell) set(arg string) error {
 	fields := strings.Fields(arg)
-	usage := fmt.Errorf(`usage: \set | \set buffer <frames> [<readahead>] | \set buffer default`)
+	usage := fmt.Errorf(`usage: \set | \set buffer <frames> [<readahead>] | \set buffer default | \set wal sync|async|default`)
 	switch {
 	case len(fields) == 0:
 		// fall through to the report below
+	case fields[0] == "wal":
+		return sh.setWAL(fields[1:])
 	case fields[0] != "buffer":
 		return usage
 	case len(fields) == 2 && fields[1] == "default":
@@ -125,12 +138,67 @@ func (sh *shell) set(arg string) error {
 	return nil
 }
 
+// setWAL implements \set wal: a per-session override of the commit
+// durability policy on a logged database. "sync" waits for the group
+// commit on every acknowledged write, "async" acknowledges without
+// waiting (a crash may lose the statement but never tears it), "default"
+// restores the database-wide Options.WALSyncPolicy.
+func (sh *shell) setWAL(fields []string) error {
+	if !sh.db.WALEnabled() {
+		return fmt.Errorf("the database was opened without -wal; there is no log to sync")
+	}
+	if len(fields) != 1 {
+		return fmt.Errorf(`usage: \set wal sync|async|default`)
+	}
+	switch fields[0] {
+	case "sync":
+		sh.cur.SetSyncCommit(true)
+	case "async":
+		sh.cur.SetSyncCommit(false)
+	case "default":
+		sh.cur.ClearSyncCommit()
+	default:
+		return fmt.Errorf(`usage: \set wal sync|async|default`)
+	}
+	fmt.Printf("wal commit: %s\n", fields[0])
+	return nil
+}
+
 func main() {
-	db := core.MustOpen(core.Options{Now: temporal.FromUnix(time.Now().UTC())})
+	dir := flag.String("dir", "", "open a persistent database in this directory (created on first use)")
+	walOn := flag.Bool("wal", false, "with -dir: commit through the write-ahead log (crash recovery on reopen; see \\set wal)")
+	flag.Parse()
+
+	opts := core.Options{Now: temporal.FromUnix(time.Now().UTC())}
+	var db *core.Database
+	if *dir != "" {
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "tquel:", err)
+			os.Exit(1)
+		}
+		opts.Dir, opts.WAL = *dir, *walOn
+		var err error
+		db, err = core.Open(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tquel:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := db.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "tquel: close:", err)
+			}
+		}()
+	} else {
+		if *walOn {
+			fmt.Fprintln(os.Stderr, "tquel: -wal needs -dir: the log lives next to the data files")
+			os.Exit(1)
+		}
+		db = core.MustOpen(opts)
+	}
 	sh := newShell(db)
 
-	if len(os.Args) > 1 {
-		src, err := os.ReadFile(os.Args[1])
+	if flag.NArg() > 0 {
+		src, err := os.ReadFile(flag.Arg(0))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tquel:", err)
 			os.Exit(1)

@@ -22,6 +22,9 @@
 //	pool.mu       the buffer-pool frame latch
 //	Mem.mu/Disk.mu  the storage backend latches (one class, "storage.mu")
 //	Schedule.mu   the fault-schedule latch
+//	Manager.syncMu  the WAL group-commit leader latch ("wal.sync")
+//	Manager.mu    the WAL append latch ("wal.mu"; innermost, ordered
+//	              under the leader latch and the buffer-pool latch)
 //
 // Per-package, the Run pass walks each function with the lockflow
 // simulator and exports a fact: direct acquisitions (with the classes
@@ -95,15 +98,17 @@ var Analyzer = &analysis.Analyzer{
 // type names), and both storage backends share one class: they are the
 // same rank in the latch order.
 var classes = map[string]string{
-	"Conn.mu":       "conn.mu",
-	"Database.ddl":  "db.ddl",
-	"Database.rw":   "db.rw",
-	"latchTable.mu": "latchTable.mu",
-	"relLatch.mu":   "rel.latch",
-	"pool.mu":       "buffer.pool.mu",
-	"Mem.mu":        "storage.mu",
-	"Disk.mu":       "storage.mu",
-	"Schedule.mu":   "faultfs.mu",
+	"Conn.mu":        "conn.mu",
+	"Database.ddl":   "db.ddl",
+	"Database.rw":    "db.rw",
+	"latchTable.mu":  "latchTable.mu",
+	"relLatch.mu":    "rel.latch",
+	"pool.mu":        "buffer.pool.mu",
+	"Mem.mu":         "storage.mu",
+	"Disk.mu":        "storage.mu",
+	"Schedule.mu":    "faultfs.mu",
+	"Manager.syncMu": "wal.sync",
+	"Manager.mu":     "wal.mu",
 }
 
 // stmtClasses are the latches a statement holds for its whole duration:

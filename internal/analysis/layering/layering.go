@@ -15,6 +15,13 @@
 //     internal/catalog and internal/core — the layers that hold the
 //     relation latch while they mutate. Everyone else reads estimates;
 //     a stray writer would skew every cost-based plan silently.
+//  5. The write-ahead log is appended only through the WAL manager:
+//     WriteAt and Truncate on a storage.Log are reserved to internal/wal,
+//     internal/storage (the implementations), and internal/faultfs (the
+//     injection wrapper), and storage.OpenDiskLog is called only by
+//     internal/storage and internal/core — the engine opens its one log
+//     in core.Open. A stray log writer could forge or destroy committed
+//     records without holding any latch recovery knows about.
 package layering
 
 import (
@@ -30,7 +37,13 @@ const (
 	planPkg    = "tdbms/internal/plan"
 	catalogPkg = "tdbms/internal/catalog"
 	corePkg    = "tdbms/internal/core"
+	walPkg     = "tdbms/internal/wal"
+	faultfsPkg = "tdbms/internal/faultfs"
 )
+
+// logMutators are the storage.Log methods that change log contents;
+// outside the WAL stack they could forge or destroy committed records.
+var logMutators = map[string]bool{"WriteAt": true, "Truncate": true}
 
 // statsMutators lists the catalog.Stats methods that write statistics;
 // calling one outside the sanctioned packages is a mutation like any
@@ -58,7 +71,7 @@ var forbiddenIO = map[string]map[string]bool{
 // Analyzer is the layering check.
 var Analyzer = &analysis.Analyzer{
 	Name: "layering",
-	Doc:  "raw file I/O only in internal/storage; buffer.Stats mutated only by internal/buffer; catalog.Stats mutated only by internal/catalog and internal/core",
+	Doc:  "raw file I/O only in internal/storage; buffer.Stats mutated only by internal/buffer; catalog.Stats mutated only by internal/catalog and internal/core; the WAL log written only by internal/wal",
 	Run:  run,
 }
 
@@ -72,11 +85,75 @@ func run(pass *analysis.Pass) {
 	if p := pass.Pkg.Path(); p != catalogPkg && p != corePkg {
 		checkCatalogStats(pass)
 	}
+	if p := pass.Pkg.Path(); p != storagePkg && p != walPkg && p != faultfsPkg {
+		checkLogWrites(pass)
+	}
+	if p := pass.Pkg.Path(); p != storagePkg && p != corePkg {
+		checkLogConstruction(pass)
+	}
 	// Fixture packages load under a synthetic import path, so the planner
 	// is also recognized by package name.
 	if pass.Pkg.Path() == planPkg || pass.Pkg.Name() == "plan" {
 		checkPlanImports(pass)
 	}
+}
+
+// checkLogConstruction flags calls to the on-disk log constructor: the
+// engine opens its single log file in core.Open and hands the storage.Log
+// down; a second opener would write the same file without the WAL
+// manager's framing.
+func checkLogConstruction(pass *analysis.Pass) {
+	for ident, obj := range pass.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		if fn.Pkg().Path() != storagePkg || fn.Name() != "OpenDiskLog" {
+			continue
+		}
+		pass.Report(ident.Pos(),
+			"storage.OpenDiskLog outside internal/core: the engine opens its one log in core.Open; everyone else receives a storage.Log")
+	}
+}
+
+// checkLogWrites flags WriteAt/Truncate calls on storage.Log values (or
+// the concrete storage log types) outside the WAL stack: only the WAL
+// manager may append records, and only it knows the framing recovery
+// trusts.
+func checkLogWrites(pass *analysis.Pass) {
+	for ident, obj := range pass.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || !logMutators[fn.Name()] {
+			continue
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			continue
+		}
+		if !isStorageLog(sig.Recv().Type()) {
+			continue
+		}
+		pass.Report(ident.Pos(),
+			"%s on a storage log outside internal/wal bypasses the WAL manager's record framing",
+			fn.Name())
+	}
+}
+
+// isStorageLog reports whether t (possibly behind a pointer) is the
+// storage.Log interface or one of the storage package's log types.
+func isStorageLog(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != storagePkg {
+		return false
+	}
+	switch named.Obj().Name() {
+	case "Log", "DiskLog", "MemLog":
+		return true
+	}
+	return false
 }
 
 // checkPlanImports flags storage-stack imports inside the planner: a plan

@@ -30,3 +30,11 @@ func TestPlanImportViolating(t *testing.T) {
 func TestPlanImportClean(t *testing.T) {
 	analysistest.Run(t, layering.Analyzer, "testdata/planimport_clean.go")
 }
+
+func TestLogViolating(t *testing.T) {
+	analysistest.Run(t, layering.Analyzer, "testdata/log_violating.go")
+}
+
+func TestLogClean(t *testing.T) {
+	analysistest.Run(t, layering.Analyzer, "testdata/log_clean.go")
+}

@@ -1,0 +1,26 @@
+// Clean fixture for the log-file rule: reading the log, asking its size,
+// and syncing it are all fine outside the WAL stack — only writes and the
+// on-disk constructor are reserved.
+package fixture
+
+import "tdbms/internal/storage"
+
+func tailSize(l storage.Log) (int64, error) {
+	return l.Size()
+}
+
+func readFrame(l storage.Log, off int64) ([]byte, error) {
+	buf := make([]byte, 8)
+	if _, err := l.ReadAt(buf, off); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func makeDurable(l storage.Log) error {
+	return l.Sync()
+}
+
+func harnessLog() storage.Log {
+	return storage.NewMemLog()
+}

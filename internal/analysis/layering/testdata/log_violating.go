@@ -1,0 +1,26 @@
+// Violating fixture for the log-file rule: a package outside the WAL
+// stack opening the on-disk log and mutating log contents directly. Every
+// such write bypasses the record framing recovery trusts.
+package fixture
+
+import "tdbms/internal/storage"
+
+func hijackLog(path string) error {
+	l, err := storage.OpenDiskLog(path)
+	if err != nil {
+		return err
+	}
+	if _, err := l.WriteAt([]byte("forged"), 0); err != nil {
+		return err
+	}
+	return l.Truncate(0)
+}
+
+func scribble(l storage.Log) error {
+	_, err := l.WriteAt([]byte("forged"), 8)
+	return err
+}
+
+func dropTail(m *storage.MemLog) error {
+	return m.Truncate(16)
+}

@@ -2,6 +2,8 @@ package bench
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -49,8 +51,10 @@ func AllSeriesWorkers(maxUC, workers int, progress func(k Key, uc int)) (map[Key
 }
 
 // AllSeriesWorkersOpts is AllSeriesWorkers with explicit core options for
-// every database (see BuildOpts) — the pooled-policy golden figures run
-// through it.
+// every database (see BuildOpts) — the pooled-policy and WAL golden
+// figures run through it. When opts.Dir is set, each of the eight
+// databases gets its own subdirectory: the two loadings of one type share
+// relation names, so they cannot share a catalog.
 func AllSeriesWorkersOpts(maxUC, workers int, opts core.Options, progress func(k Key, uc int)) (map[Key]*Series, error) {
 	keys := AllKeys()
 	if workers < 1 {
@@ -70,7 +74,15 @@ func AllSeriesWorkersOpts(maxUC, workers int, opts core.Options, progress func(k
 			defer wg.Done()
 			for i := range jobs {
 				k := keys[i]
-				series[i], errs[i] = RunOpts(k.T, k.L, maxUC, opts, func(uc int) {
+				o := opts
+				if o.Dir != "" {
+					o.Dir = filepath.Join(opts.Dir, fmt.Sprintf("%s_%d", k.T, k.L))
+					if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+						errs[i] = err
+						continue
+					}
+				}
+				series[i], errs[i] = RunOpts(k.T, k.L, maxUC, o, func(uc int) {
 					if progress == nil {
 						return
 					}

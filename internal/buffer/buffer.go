@@ -28,6 +28,7 @@ package buffer
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -145,6 +146,12 @@ type frame struct {
 	pg    page.Page
 	dirty bool
 	used  int64 // last-use tick for LRU
+	// lsn is nonzero while the frame's exact content is a committed image
+	// in the write-ahead log (recorded by NoteLogged at commit). A fuzzy
+	// checkpoint may skip flushing such a frame — recovery can redo it from
+	// the log — provided the checkpoint's replay start stays at or below
+	// this LSN. Any later modification or successful flush clears it.
+	lsn int64
 }
 
 // view is one handle's private scratch page: the stable copy of the page
@@ -267,6 +274,7 @@ func (p *pool) sync() {
 	if f := p.lookup(p.pending.id); f != nil {
 		f.pg = p.pending.pg
 		f.dirty = true
+		f.lsn = 0 // content diverged from whatever image was logged
 	}
 	p.pending.dirty = false
 }
@@ -292,6 +300,7 @@ func (b *Buffered) flushFrame(f *frame) error {
 		b.charge(Stats{Writes: 1})
 	}
 	f.dirty = false
+	f.lsn = 0
 	return nil
 }
 
@@ -416,6 +425,7 @@ func (b *Buffered) MarkDirty() {
 	}
 	if mru != nil {
 		mru.dirty = true
+		mru.lsn = 0
 	}
 }
 
@@ -446,6 +456,7 @@ func (b *Buffered) Allocate() (page.ID, *page.Page, error) {
 	f.id = id
 	f.used = p.tick
 	f.dirty = true
+	f.lsn = 0
 	b.v.pg = page.Page{}
 	b.v.id = id
 	b.v.dirty = true // callers format the fresh page in place
@@ -534,6 +545,77 @@ func (b *Buffered) Close() error {
 		return err
 	}
 	return p.file.Close()
+}
+
+// CapturedPage is one dirty frame image copied out at commit time, to be
+// appended to the write-ahead log before the statement acknowledges.
+type CapturedPage struct {
+	ID page.ID
+	Pg page.Page
+}
+
+// CaptureDirty returns a copy of every dirty frame, in page-ID order. The
+// caller (the commit protocol, holding the relation exclusively) logs the
+// images and then reports each record's LSN back via NoteLogged.
+func (b *Buffered) CaptureDirty() []CapturedPage {
+	p := b.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.sync()
+	var out []CapturedPage
+	for i := range p.frames {
+		f := &p.frames[i]
+		if f.dirty && f.id != page.Nil {
+			out = append(out, CapturedPage{ID: f.id, Pg: f.pg})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// NoteLogged records that the frame holding id, if still dirty, now
+// matches the committed log record at lsn: the frame carries the record's
+// LSN (so a fuzzy checkpoint may skip flushing it) and its page header is
+// stamped with the same LSN tag the logged image carries, keeping the two
+// byte-identical.
+func (b *Buffered) NoteLogged(id page.ID, lsn int64) {
+	p := b.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f := p.lookup(id)
+	if f == nil || !f.dirty {
+		return
+	}
+	f.lsn = lsn
+	f.pg.SetLSNTag(uint16(lsn))
+}
+
+// FlushUnlogged writes back every dirty frame whose content the log
+// cannot reproduce (lsn zero), leaving logged frames dirty in place. It
+// reports how many logged frames were skipped and the minimum LSN among
+// them — the offset recovery must replay from for this buffer.
+func (b *Buffered) FlushUnlogged() (skipped int, minLSN int64, err error) {
+	p := b.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.sync()
+	for i := range p.frames {
+		f := &p.frames[i]
+		if !f.dirty || f.id == page.Nil {
+			continue
+		}
+		if f.lsn != 0 {
+			if skipped == 0 || f.lsn < minLSN {
+				minLSN = f.lsn
+			}
+			skipped++
+			continue
+		}
+		if err := b.flushFrame(f); err != nil {
+			return skipped, minLSN, err
+		}
+	}
+	return skipped, minLSN, nil
 }
 
 // String describes the buffer for diagnostics.

@@ -66,6 +66,12 @@ type Conn struct {
 	// ErrConflict instead of transparently restarting the statement's
 	// snapshot (the default).
 	conflictErr bool
+	// walAck is the log tail the statement in flight must see synced
+	// before it acknowledges (zero when nothing was committed). Set by the
+	// commit protocol under the relation latches, consumed — and the sync
+	// awaited, group-committed — by a deferred hook that runs after the
+	// latches are released.
+	walAck int64
 
 	// views caches the session's per-relation read views, rebuilt lazily
 	// per relation when its writer stamp moves and wholesale when a DDL
@@ -255,7 +261,7 @@ func (c *Conn) dmlLocks(v string, targets []tquel.Target, where tquel.Expr, when
 // ("now" and the conflict watermark), the statement graph, and the stats
 // source. It adds the statement's I/O delta to the result, exactly as
 // ExecStmt always has.
-func (c *Conn) run(stmt tquel.Statement, fn func() (*Result, error)) (*Result, error) {
+func (c *Conn) run(stmt tquel.Statement, fn func() (*Result, error)) (res *Result, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	db := c.Database
@@ -270,6 +276,24 @@ func (c *Conn) run(stmt tquel.Statement, fn func() (*Result, error)) (*Result, e
 	if db.closed {
 		return nil, errClosed
 	}
+	walOn := db.wal != nil && (locks.ddlExcl || len(locks.write) > 0)
+
+	// Commit durability runs after the relation latches are released
+	// (registered before them, so it unwinds after them): other writers of
+	// the same relations proceed — and join the same group-committed sync —
+	// while this statement waits for its acknowledged tail.
+	if walOn && !locks.ddlExcl {
+		defer func() {
+			lsn := c.walAck
+			c.walAck = 0
+			if err != nil || lsn == 0 || !c.syncOnCommit() {
+				return
+			}
+			if werr := c.walWaitDurable(lsn); werr != nil {
+				res, err = nil, werr
+			}
+		}()
+	}
 
 	// The watermark is captured before the relation latches: writes that
 	// land while this statement waits for its latches are exactly the
@@ -281,6 +305,20 @@ func (c *Conn) run(stmt tquel.Statement, fn func() (*Result, error)) (*Result, e
 	ls := db.newLatchSet(locks.read, locks.write)
 	ls.acquire()
 	defer ls.release()
+
+	// The WAL transaction opens only once the relation latches are held:
+	// until then a concurrent statement's evictions may still be flushing
+	// these relations, and those flushes must not log under this
+	// transaction.
+	var walTxn uint64
+	if walOn {
+		if locks.ddlExcl {
+			walTxn = db.wal.BeginAll()
+		} else {
+			walTxn = db.wal.Begin(locks.write...)
+		}
+		defer db.wal.Finish(walTxn)
+	}
 
 	// Resolve the statement graph and the stats source. Shared-latched
 	// relations go through session views (account-charged, policy-
@@ -354,9 +392,29 @@ func (c *Conn) run(stmt tquel.Statement, fn func() (*Result, error)) (*Result, e
 
 	rootBefore := rootStats(writeRoots)
 	before := c.statsFn()
-	res, err := fn()
+	res, err = fn()
 	if err != nil {
 		return nil, err
+	}
+	// Commit: append the written pages and the end record to the log while
+	// the exclusive latches still fence the captured frames. DDL instead
+	// ends in a full checkpoint — its structural changes (file creation,
+	// removal, rebuild) are not page-grained, so it flushes everything and
+	// empties the log. A failed append fails the statement: the work may
+	// survive in the log (unacknowledged-but-durable), but an acknowledged
+	// statement can never be lost.
+	if walOn {
+		if locks.ddlExcl {
+			if werr := db.walCheckpointLocked(walTxn); werr != nil {
+				return nil, werr
+			}
+		} else if len(writeRoots) > 0 {
+			lsn, werr := c.walCommit(walTxn, writeRoots)
+			if werr != nil {
+				return nil, werr
+			}
+			c.walAck = lsn
+		}
 	}
 	d := c.statsFn().Sub(before)
 	res.Input += d.Reads

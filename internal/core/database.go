@@ -13,6 +13,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tdbms/internal/buffer"
 	"tdbms/internal/catalog"
@@ -21,6 +22,7 @@ import (
 	"tdbms/internal/storage"
 	"tdbms/internal/temporal"
 	"tdbms/internal/tquel"
+	"tdbms/internal/wal"
 )
 
 // Options configure a Database.
@@ -59,6 +61,26 @@ type Options struct {
 	// use it to splice a faultfs schedule under the buffer manager;
 	// production code leaves it nil.
 	WrapFile func(name string, f storage.File) storage.File
+	// WAL enables write-ahead logging on a disk database (ignored when Dir
+	// is empty): every page write is redo-logged to <Dir>/wal.log before it
+	// reaches a data file, commits append an end record, and Open replays
+	// the committed suffix past the last checkpoint — discarding any torn
+	// tail — before reattaching relations. Logging sits below the buffer
+	// manager's I/O counters, so the paper's page accounting is unchanged.
+	WAL bool
+	// WALSyncPolicy selects when the log is forced to stable storage; the
+	// zero value, WALSyncCommit, syncs (group-committed) before every write
+	// statement acknowledges.
+	WALSyncPolicy WALSyncPolicy
+	// WALGroupWindow is the group-commit gathering delay: how long an
+	// elected sync leader waits before issuing the shared sync, letting
+	// concurrent committers land under the same barrier. Zero syncs
+	// immediately (concurrent waiters still share a sync).
+	WALGroupWindow time.Duration
+	// WrapLog, when non-nil, wraps the write-ahead log file (named "wal").
+	// The fault-injection tests use it to tear the log tail and count
+	// syncs; production code leaves it nil.
+	WrapLog func(name string, l storage.Log) storage.Log
 }
 
 // Database is a temporal database: a catalog of typed relations, their open
@@ -99,6 +121,14 @@ type Database struct {
 	def *Conn
 	// connSeq numbers explicitly created sessions.
 	connSeq atomic.Int64
+
+	// wal is the write-ahead log manager, nil unless Options.WAL is set on
+	// a disk database. walStart is the replay start recorded in the
+	// on-disk catalog: recovery scans the log from there. It is only
+	// mutated where the catalog is written (checkpoints), under the
+	// exclusive schema latch.
+	wal      *wal.Manager
+	walStart int64
 }
 
 // relHandle is an open relation: descriptor plus storage, and — on root
@@ -149,6 +179,20 @@ func Open(opts Options) (*Database, error) {
 		clock: temporal.NewClock(opts.Now),
 	}
 	db.def = &Conn{Database: db, sess: session.New(0, "default")}
+	if opts.Dir != "" && opts.WAL {
+		l, err := storage.OpenDiskLog(filepath.Join(opts.Dir, "wal.log"))
+		if err != nil {
+			return nil, err
+		}
+		var lg storage.Log = l
+		if opts.WrapLog != nil {
+			lg = opts.WrapLog("wal", lg)
+		}
+		db.wal = wal.NewManager(lg)
+		if opts.WALGroupWindow > 0 {
+			db.wal.SetWindow(opts.WALGroupWindow)
+		}
+	}
 	if err := db.loadCatalog(); err != nil {
 		// Release whatever files a partial load opened, so a failed Open
 		// leaves no stale handles behind.
@@ -156,6 +200,9 @@ func Open(opts Options) (*Database, error) {
 			for _, b := range h.buffers() {
 				_ = b.Close() // already failing; the load error wins
 			}
+		}
+		if db.wal != nil {
+			_ = db.wal.Close()
 		}
 		db.closed = true
 		return nil, err
@@ -179,6 +226,10 @@ func MustOpen(opts Options) *Database {
 // update rounds).
 func (db *Database) Clock() *temporal.Clock { return db.clock }
 
+// WALEnabled reports whether this database commits through a write-ahead
+// log (Options.WAL on a disk-backed open).
+func (db *Database) WALEnabled() bool { return db.wal != nil }
+
 // Catalog exposes the system catalog for inspection.
 func (db *Database) Catalog() *catalog.Catalog { return db.cat }
 
@@ -193,6 +244,14 @@ func (db *Database) newFile(name string) (storage.File, error) {
 			return nil, err
 		}
 		f = d
+	}
+	// The log wrapper sits directly above the raw file — below both the
+	// buffer counters and any fault wrapper — so logging never shows up in
+	// the paper's page accounting and injected faults tear the outermost
+	// write like any other. Secondary-index files stay unlogged: indexes
+	// are rebuilt from the base relation on every open.
+	if db.wal != nil && !strings.Contains(strings.ToLower(name), "~ix") {
+		f = wal.Logged(name, f, db.wal)
 	}
 	if db.opts.WrapFile != nil {
 		f = db.opts.WrapFile(name, f)
@@ -212,11 +271,19 @@ func (db *Database) bufferPolicy() buffer.Policy {
 // newBuffer wraps a fresh file for name in a buffer under the database's
 // default policy (one frame, no readahead, under the paper's policy).
 func (db *Database) newBuffer(name string) (*buffer.Buffered, error) {
+	b, _, err := db.newBufferFile(name)
+	return b, err
+}
+
+// newBufferFile is newBuffer, also returning the wrapped file underneath —
+// WAL recovery writes replayed pages through it before the access method
+// is attached.
+func (db *Database) newBufferFile(name string) (*buffer.Buffered, storage.File, error) {
 	f, err := db.newFile(name)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return buffer.NewWithPolicy(name, f, db.bufferPolicy()), nil
+	return buffer.NewWithPolicy(name, f, db.bufferPolicy()), f, nil
 }
 
 // newTempBuffer wraps a fresh memory-backed file for a query temporary.
@@ -295,6 +362,8 @@ func (db *Database) ResetStats() {
 // InvalidateBuffers empties every relation's buffer frame so the next query
 // starts cold, as each benchmark measurement did. Exclusive on the schema
 // latch: frames must not vanish under a running statement.
+//
+//tdbvet:flushpath invalidation flushes every frame and discards the spent log while the exclusive schema latch drains every statement
 func (db *Database) InvalidateBuffers() error {
 	db.ddl.Lock()
 	defer db.ddl.Unlock()
@@ -303,6 +372,16 @@ func (db *Database) InvalidateBuffers() error {
 			if err := b.Invalidate(); err != nil {
 				return err
 			}
+		}
+	}
+	// Invalidation flushed every dirty frame, so the data files hold the
+	// complete state and the log's records are spent. Discard them — but
+	// only when the on-disk catalog already points replay at offset zero;
+	// otherwise later appends would land below the recorded start and a
+	// crash would skip them.
+	if db.wal != nil && db.walStart == 0 {
+		if err := db.wal.Reset(); err != nil {
+			return err
 		}
 	}
 	return nil

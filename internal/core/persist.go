@@ -67,6 +67,12 @@ type savedCatalog struct {
 	Version   int             `json:"version"`
 	Now       int64           `json:"now"`
 	Relations []savedRelation `json:"relations"`
+
+	// WalStart is where write-ahead-log replay begins: records below it
+	// describe pages whose content the data files already hold. Fuzzy
+	// checkpoints raise it instead of flushing hot pages; full checkpoints
+	// (DDL, Close) reset it to zero along with the log.
+	WalStart int64 `json:"walStart,omitempty"`
 }
 
 // saveCatalog writes the catalog sidecar; a no-op for in-memory databases.
@@ -76,7 +82,7 @@ func (db *Database) saveCatalog() error {
 	if db.opts.Dir == "" {
 		return nil
 	}
-	sc := savedCatalog{Version: 1, Now: int64(db.clock.Now())}
+	sc := savedCatalog{Version: 1, Now: int64(db.clock.Now()), WalStart: db.walStart}
 	for _, name := range db.cat.List() {
 		h, err := db.handle(name)
 		if err != nil {
@@ -142,6 +148,12 @@ func (db *Database) loadCatalog() error {
 	//tdbvet:ignore layering catalog sidecar is JSON metadata, not counted page I/O
 	data, err := os.ReadFile(filepath.Join(db.opts.Dir, catalogFile))
 	if errors.Is(err, os.ErrNotExist) {
+		// Fresh database: a leftover log (an earlier run that crashed
+		// before its first checkpoint) describes relations no catalog
+		// knows; discard it so stale records can never replay.
+		if db.wal != nil {
+			return db.wal.Reset()
+		}
 		return nil
 	}
 	if err != nil {
@@ -151,15 +163,32 @@ func (db *Database) loadCatalog() error {
 	if err := json.Unmarshal(data, &sc); err != nil {
 		return fmt.Errorf("core: corrupt catalog sidecar: %w", err)
 	}
+	if db.wal == nil {
+		// A database written under WAL may hold committed state only the
+		// log has (commits log page images instead of flushing them).
+		// Opening it without replay would silently lose or tear them.
+		if sc.WalStart != 0 {
+			return fmt.Errorf("core: catalog records a write-ahead-log replay start; reopen with Options.WAL")
+		}
+		if fi, err := os.Stat(filepath.Join(db.opts.Dir, "wal.log")); err == nil && fi.Size() > 0 {
+			return fmt.Errorf("core: %s holds a non-empty write-ahead log; reopen with Options.WAL", db.opts.Dir)
+		}
+	}
 	// Keep the logical clock monotone across sessions: never reopen with a
 	// clock behind the one the data was written under.
 	if saved := temporal.Time(sc.Now); saved > db.clock.Now() {
 		db.clock.Set(saved)
 	}
-	for _, sr := range sc.Relations {
+	// First pass: descriptors, buffers, and raw files only. The access
+	// methods are constructed after WAL replay — recovery writes raw pages
+	// and may override the saved access-method descriptor with a later
+	// committed one, so nothing may interpret the files before it runs.
+	pends := make([]*pendingRel, 0, len(sc.Relations))
+	for i := range sc.Relations {
+		sr := &sc.Relations[i]
 		attrs := make([]tuple.Attr, len(sr.Attrs))
-		for i, a := range sr.Attrs {
-			attrs[i] = tuple.Attr{Name: a.Name, Kind: tuple.Kind(a.Kind), Len: a.Len}
+		for j, a := range sr.Attrs {
+			attrs[j] = tuple.Attr{Name: a.Name, Kind: tuple.Kind(a.Kind), Len: a.Len}
 		}
 		desc, err := db.cat.Create(sr.Name, catalog.DBType(sr.Type), catalog.Model(sr.Model), attrs)
 		if err != nil {
@@ -167,29 +196,45 @@ func (db *Database) loadCatalog() error {
 		}
 		desc.KeyAttr = sr.KeyAttr
 		desc.Fillfactor = sr.Fillfactor
-		buf, err := db.newBuffer(sr.Name)
+		buf, file, err := db.newBufferFile(sr.Name)
 		if err != nil {
 			return err
 		}
-		conv := &conventional{buf: buf}
+		// Register the handle now (methodless) so a failed Open can close
+		// the buffer via the usual cleanup walk.
+		db.rels[strings.ToLower(sr.Name)] = &relHandle{
+			desc:    desc,
+			src:     &conventional{buf: buf},
+			indexes: make(map[string]*secindex.Index),
+		}
+		pends = append(pends, &pendingRel{sr: sr, desc: desc, buf: buf, file: file})
+	}
+	walActive := sc.WalStart != 0
+	if db.wal != nil {
+		act, err := db.recoverWAL(sc.WalStart, pends)
+		if err != nil {
+			return err
+		}
+		walActive = walActive || act
+	}
+	// Second pass: attach the access methods over the (possibly replayed)
+	// files, using the recovered descriptors.
+	for _, p := range pends {
+		sr, desc := p.sr, p.desc
+		conv := db.rels[strings.ToLower(sr.Name)].src.(*conventional)
 		switch {
 		case sr.Hash != nil:
 			desc.Method = catalog.Hash
-			conv.file = hashfile.New(buf, *sr.Hash)
+			conv.file = hashfile.New(conv.buf, *sr.Hash)
 		case sr.Isam != nil:
 			desc.Method = catalog.Isam
-			conv.file = isam.New(buf, *sr.Isam)
+			conv.file = isam.New(conv.buf, *sr.Isam)
 		case sr.Btree != nil:
 			desc.Method = catalog.Btree
-			conv.file = btree.New(buf, *sr.Btree)
+			conv.file = btree.New(conv.buf, *sr.Btree)
 		default:
 			desc.Method = catalog.Heap
-			conv.file = heapfile.New(buf, desc.Width())
-		}
-		db.rels[strings.ToLower(sr.Name)] = &relHandle{
-			desc:    desc,
-			src:     conv,
-			indexes: make(map[string]*secindex.Index),
+			conv.file = heapfile.New(conv.buf, desc.Width())
 		}
 	}
 	// Rebuild the persisted index definitions (scan-based, like `index on`).
@@ -209,6 +254,30 @@ func (db *Database) loadCatalog() error {
 			}
 		}
 	}
+	// Epilogue: recovery is complete; persist the recovered catalog and
+	// empty the log. The catalog is written twice around the truncation so
+	// every crash point replays correctly — first pointing replay past the
+	// log's physical end (its records are now reflected in the data files
+	// and catalog), then, once the log is empty, back at zero so records
+	// appended after this open are replayed. A crash anywhere in between
+	// just recovers again: replay never truncates, so it is idempotent.
+	if walActive {
+		size, err := db.wal.LogSize()
+		if err != nil {
+			return err
+		}
+		db.walStart = size
+		if err := db.saveCatalog(); err != nil {
+			return err
+		}
+		if err := db.wal.Reset(); err != nil {
+			return err
+		}
+		db.walStart = 0
+		if err := db.saveCatalog(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -226,6 +295,9 @@ func (db *Database) Checkpoint() error {
 }
 
 func (db *Database) checkpointLocked() error {
+	if db.wal != nil {
+		return db.fuzzyCheckpointLocked()
+	}
 	for _, h := range db.rels {
 		for _, b := range h.buffers() {
 			if err := b.Flush(); err != nil {
@@ -233,6 +305,33 @@ func (db *Database) checkpointLocked() error {
 			}
 		}
 	}
+	return db.saveCatalog()
+}
+
+// fuzzyCheckpointLocked bounds replay without flushing frames whose
+// content the log already holds: sync the log (making every skippable
+// image durable), flush only the frames with no logged image, and record
+// the lowest skipped LSN as the catalog's replay start. It never truncates
+// the log; DDL, Close, and Open do that with the database quiesced.
+//
+//tdbvet:flushpath the checkpoint flushes and syncs while the exclusive schema latch drains every statement
+func (db *Database) fuzzyCheckpointLocked() error {
+	if err := db.wal.Sync(); err != nil {
+		return err
+	}
+	start := db.wal.Tail()
+	for _, h := range db.rels {
+		for _, b := range h.buffers() {
+			skipped, min, err := b.FlushUnlogged()
+			if err != nil {
+				return err
+			}
+			if skipped > 0 && min < start {
+				start = min
+			}
+		}
+	}
+	db.walStart = start
 	return db.saveCatalog()
 }
 
@@ -246,7 +345,15 @@ func (db *Database) Close() error {
 	if db.closed {
 		return nil
 	}
-	if err := db.checkpointLocked(); err != nil {
+	if db.wal != nil {
+		// The full checkpoint: flush everything, sync, persist the
+		// catalog, and empty the log. A crash (or injected sync fault)
+		// anywhere before the log reset leaves the log intact, and reopen
+		// replays it back to exactly the committed state.
+		if err := db.walCheckpointLocked(0); err != nil {
+			return err
+		}
+	} else if err := db.checkpointLocked(); err != nil {
 		return err
 	}
 	for _, h := range db.rels {
@@ -254,6 +361,11 @@ func (db *Database) Close() error {
 			if err := b.Close(); err != nil {
 				return err
 			}
+		}
+	}
+	if db.wal != nil {
+		if err := db.wal.Close(); err != nil {
+			return err
 		}
 	}
 	db.closed = true

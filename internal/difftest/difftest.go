@@ -161,9 +161,18 @@ func SessionFor(b *bench.DB, name string, frames, ahead int) (*core.Conn, error)
 // splicing a fault schedule under every file, and rebinds the benchmark
 // range variables on the default session.
 func Reopen(dir string, t bench.DBType, sched *faultfs.Schedule) (*core.Database, error) {
-	opts := core.Options{Dir: dir}
+	return ReopenWAL(dir, t, sched, false)
+}
+
+// ReopenWAL is Reopen with write-ahead logging enabled: recovery replays
+// the log before the relations reattach, and the schedule — when given —
+// also wraps the log file itself, so faults can tear its tail or sabotage
+// the replay.
+func ReopenWAL(dir string, t bench.DBType, sched *faultfs.Schedule, wal bool) (*core.Database, error) {
+	opts := core.Options{Dir: dir, WAL: wal}
 	if sched != nil {
 		opts.WrapFile = sched.Wrap
+		opts.WrapLog = sched.WrapLog
 	}
 	db, err := core.Open(opts)
 	if err != nil {

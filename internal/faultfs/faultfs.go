@@ -317,6 +317,75 @@ func (f *File) WritePage(id page.ID, p *page.Page) error {
 	return f.inner.WritePage(id, p)
 }
 
+// WrapLog returns l with this schedule's faults injected, counted under
+// name (the WAL uses "wal"). Log writes, reads, and syncs count as the
+// corresponding ops; torn and short modes persist a prefix of the append
+// — half of it, or 128 bytes — before failing, simulating a crash in the
+// middle of a log append. The torn record is exactly what the recovery
+// scanner's length+CRC framing must detect and discard.
+func (s *Schedule) WrapLog(name string, l storage.Log) storage.Log {
+	return &LogFile{name: name, inner: l, sched: s}
+}
+
+// LogFile is a fault-injecting storage.Log.
+type LogFile struct {
+	name  string
+	inner storage.Log
+	sched *Schedule
+}
+
+// Inner returns the wrapped log.
+func (l *LogFile) Inner() storage.Log { return l.inner }
+
+// WriteAt implements storage.Log.
+func (l *LogFile) WriteAt(b []byte, off int64) (int, error) {
+	mode, err := l.sched.match(l.name, OpWrite)
+	if err != nil {
+		if mode == ModeShort || mode == ModeTorn {
+			keep := len(b) / 2
+			if mode == ModeShort && keep > shortBytes {
+				keep = shortBytes
+			}
+			// Best effort: a torn tail is the point; the caller sees the
+			// injected error and must not advance its logical tail.
+			_, _ = l.inner.WriteAt(b[:keep], off) //tdbvet:ignore errcheck the injected error is being returned; the prefix write is the fault being modeled
+		}
+		return 0, err
+	}
+	return l.inner.WriteAt(b, off)
+}
+
+// ReadAt implements storage.Log.
+func (l *LogFile) ReadAt(b []byte, off int64) (int, error) {
+	if _, err := l.sched.match(l.name, OpRead); err != nil {
+		return 0, err
+	}
+	return l.inner.ReadAt(b, off)
+}
+
+// Size implements storage.Log.
+func (l *LogFile) Size() (int64, error) { return l.inner.Size() }
+
+// Sync implements storage.Log.
+func (l *LogFile) Sync() error {
+	if _, err := l.sched.match(l.name, OpSync); err != nil {
+		return err
+	}
+	return l.inner.Sync()
+}
+
+// Truncate implements storage.Log.
+func (l *LogFile) Truncate(size int64) error { return l.inner.Truncate(size) }
+
+// Close implements storage.Log. Like File.Close, a sync fault fails the
+// close without closing the inner log, so a retry can succeed.
+func (l *LogFile) Close() error {
+	if _, err := l.sched.match(l.name, OpSync); err != nil {
+		return err
+	}
+	return l.inner.Close()
+}
+
 // Allocate implements storage.File.
 func (f *File) Allocate() (page.ID, error) {
 	if _, err := f.sched.match(f.name, OpAlloc); err != nil {

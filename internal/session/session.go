@@ -55,6 +55,14 @@ type Session struct {
 	batch    int
 	hasBatch bool
 
+	// syncCommit, when set, overrides the database's WAL sync policy for
+	// this session's writes: true waits (group-committed) for the log to
+	// reach stable storage before a write statement acknowledges, false
+	// acknowledges immediately — an async commit a crash may lose, but
+	// never tear.
+	syncCommit    bool
+	hasSyncCommit bool
+
 	tmpSeq int
 }
 
@@ -156,6 +164,23 @@ func (s *Session) ClearBatchSize() {
 // BatchSize returns the override and whether one is set.
 func (s *Session) BatchSize() (int, bool) {
 	return s.batch, s.hasBatch
+}
+
+// SetSyncCommit overrides the session's commit-durability behavior on a
+// write-ahead-logged database (see core.WALSyncPolicy for the default).
+func (s *Session) SetSyncCommit(on bool) {
+	s.syncCommit, s.hasSyncCommit = on, true
+}
+
+// ClearSyncCommit removes the override; the session follows the database's
+// WAL sync policy.
+func (s *Session) ClearSyncCommit() {
+	s.syncCommit, s.hasSyncCommit = false, false
+}
+
+// SyncCommit returns the override and whether one is set.
+func (s *Session) SyncCommit() (bool, bool) {
+	return s.syncCommit, s.hasSyncCommit
 }
 
 // NextTemp names the session's next temporary relation. The default

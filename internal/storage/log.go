@@ -1,0 +1,162 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Log is a flat byte file for append-style logging — the storage surface
+// beneath the write-ahead log. Unlike File it is not paged: the WAL frames
+// variable-length records itself and addresses them by byte offset (the
+// LSN). Offsets are absolute; the caller tracks its own logical tail, so a
+// torn append can simply be overwritten by the next one.
+type Log interface {
+	// WriteAt stores b at byte offset off, extending the file as needed.
+	WriteAt(b []byte, off int64) (int, error)
+	// ReadAt fills b from byte offset off (io.ReadAt contract).
+	ReadAt(b []byte, off int64) (int, error)
+	// Size reports the current file size in bytes.
+	Size() (int64, error)
+	// Sync forces written data to stable storage.
+	Sync() error
+	// Truncate cuts the file to the given size.
+	Truncate(size int64) error
+	// Close releases underlying resources.
+	Close() error
+}
+
+// DiskLog is a Log backed by an operating-system file. It carries no latch
+// of its own: positioned reads and writes are serialized by the OS, and the
+// WAL manager above already serializes appends and truncation.
+type DiskLog struct {
+	f    *os.File
+	path string
+}
+
+// OpenDiskLog opens (creating if necessary) a disk-backed log file.
+func OpenDiskLog(path string) (*DiskLog, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &DiskLog{f: f, path: path}, nil
+}
+
+// lwrap adds file context to a raw os error.
+func (l *DiskLog) lwrap(op string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("storage: %s log %s: %w", op, filepath.Base(l.path), err)
+}
+
+// WriteAt implements Log.
+func (l *DiskLog) WriteAt(b []byte, off int64) (int, error) {
+	n, err := l.f.WriteAt(b, off)
+	return n, l.lwrap("write", err)
+}
+
+// ReadAt implements Log.
+func (l *DiskLog) ReadAt(b []byte, off int64) (int, error) {
+	n, err := l.f.ReadAt(b, off)
+	if err != nil && n == len(b) {
+		// Full read at EOF boundary: the data is all there.
+		return n, nil
+	}
+	return n, l.lwrap("read", err)
+}
+
+// Size implements Log.
+func (l *DiskLog) Size() (int64, error) {
+	st, err := l.f.Stat()
+	if err != nil {
+		return 0, l.lwrap("stat", err)
+	}
+	return st.Size(), nil
+}
+
+// Sync implements Log.
+func (l *DiskLog) Sync() error { return l.lwrap("sync", l.f.Sync()) }
+
+// Truncate implements Log.
+func (l *DiskLog) Truncate(size int64) error {
+	return l.lwrap("truncate", l.f.Truncate(size))
+}
+
+// Close implements Log.
+func (l *DiskLog) Close() error { return l.lwrap("close", l.f.Close()) }
+
+// MemLog is an in-memory Log for tests. Accesses are latched so concurrent
+// appenders and readers never observe a resizing slice.
+type MemLog struct {
+	mu sync.RWMutex
+	b  []byte
+}
+
+// NewMemLog returns an empty in-memory log.
+func NewMemLog() *MemLog { return &MemLog{} }
+
+// WriteAt implements Log, zero-filling any gap before off.
+func (m *MemLog) WriteAt(b []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("storage: write log at negative offset %d", off)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if need := off + int64(len(b)); need > int64(len(m.b)) {
+		grown := make([]byte, need)
+		copy(grown, m.b)
+		m.b = grown
+	}
+	copy(m.b[off:], b)
+	return len(b), nil
+}
+
+// ReadAt implements Log.
+func (m *MemLog) ReadAt(b []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("storage: read log at negative offset %d", off)
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if off >= int64(len(m.b)) {
+		return 0, fmt.Errorf("storage: read log at %d past size %d", off, len(m.b))
+	}
+	n := copy(b, m.b[off:])
+	if n < len(b) {
+		return n, fmt.Errorf("storage: short log read at %d: %d of %d bytes", off, n, len(b))
+	}
+	return n, nil
+}
+
+// Size implements Log.
+func (m *MemLog) Size() (int64, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return int64(len(m.b)), nil
+}
+
+// Sync implements Log.
+func (m *MemLog) Sync() error { return nil }
+
+// Truncate implements Log.
+func (m *MemLog) Truncate(size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if size < 0 || size > int64(len(m.b)) {
+		if size < 0 {
+			return fmt.Errorf("storage: truncate log to negative size %d", size)
+		}
+		grown := make([]byte, size)
+		copy(grown, m.b)
+		m.b = grown
+		return nil
+	}
+	m.b = m.b[:size]
+	return nil
+}
+
+// Close implements Log.
+func (m *MemLog) Close() error { return nil }

@@ -1,0 +1,73 @@
+package wal
+
+import (
+	"tdbms/internal/page"
+	"tdbms/internal/storage"
+)
+
+// LoggedFile wraps a storage.File so every page write is redo-logged
+// before it reaches the data file — the WAL invariant. It sits directly
+// above the raw file and below both the buffer manager's I/O counters and
+// any fault-injection wrapper, so logging is invisible to the paper's page
+// accounting and injected faults still hit the outermost layer first.
+//
+// Writes outside a statement (checkpoint and invalidation flushes) log
+// under the background pseudo-transaction 0, which replay treats as
+// committed: those paths run with the database held exclusively, so the
+// frames they flush only ever hold complete-statement content. During
+// replay itself logging is suppressed (Manager.SetRecovering) — recovery
+// writes what the log already holds.
+type LoggedFile struct {
+	name  string
+	inner storage.File
+	m     *Manager
+}
+
+// Logged wraps f so its page writes flow through the log.
+func Logged(name string, f storage.File, m *Manager) *LoggedFile {
+	return &LoggedFile{name: name, inner: f, m: m}
+}
+
+// ReadPage implements storage.File.
+func (l *LoggedFile) ReadPage(id page.ID, p *page.Page) error {
+	return l.inner.ReadPage(id, p)
+}
+
+// ReadPages implements storage.File.
+func (l *LoggedFile) ReadPages(id page.ID, ps []page.Page) error {
+	return l.inner.ReadPages(id, ps)
+}
+
+// WritePage implements storage.File: the before-image is read from the
+// file, both images are appended to the log under the writing statement's
+// transaction, and only then does the write reach the data file. If the
+// append fails the page is not written; if the write fails after the
+// append, replay redoes (or undoes) it — either way the log stays ahead
+// of the file.
+func (l *LoggedFile) WritePage(id page.ID, p *page.Page) error {
+	if l.m.Recovering() {
+		return l.inner.WritePage(id, p)
+	}
+	var before page.Page
+	if err := l.inner.ReadPage(id, &before); err != nil {
+		return err
+	}
+	if _, err := l.m.AppendImage(l.m.TxnFor(l.name), l.name, id, &before, p); err != nil {
+		return err
+	}
+	return l.inner.WritePage(id, p)
+}
+
+// Allocate implements storage.File. Extension itself is not logged: a
+// fresh page is zero, and replay re-extends files as it applies images.
+func (l *LoggedFile) Allocate() (page.ID, error) { return l.inner.Allocate() }
+
+// NumPages implements storage.File.
+func (l *LoggedFile) NumPages() int { return l.inner.NumPages() }
+
+// Truncate implements storage.File. Truncation happens only on DDL paths,
+// which end in a full checkpoint that empties the log — nothing to redo.
+func (l *LoggedFile) Truncate() error { return l.inner.Truncate() }
+
+// Close implements storage.File.
+func (l *LoggedFile) Close() error { return l.inner.Close() }

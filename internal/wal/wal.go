@@ -1,0 +1,461 @@
+// Package wal implements the write-ahead log: an append-only redo log of
+// page images layered between the buffer manager and the storage files.
+//
+// The log is a sequence of self-describing records, each framed as
+//
+//	[4 bytes  payload length, little endian]
+//	[4 bytes  CRC-32 (IEEE) of the payload]
+//	[payload]
+//
+// so that a torn tail — a crash mid-append — is detected by an impossible
+// length or a checksum mismatch and everything at and past it is
+// discarded. A record's LSN is its byte offset in the log; the low 16 bits
+// are stamped into the page header (page.SetLSNTag) as a diagnostic
+// fingerprint, while the buffer manager tracks the full LSN per frame so
+// fuzzy checkpoints can skip flushing pages whose latest committed image
+// recovery can redo from the log.
+//
+// Two record types exist. An image record carries a page's after-image
+// (and, for mid-statement flushes, the before-image read from the data
+// file) tagged with the transaction that wrote it. An end record marks the
+// transaction committed and carries the engine's commit metadata (clock
+// position and access-method descriptors) opaquely. Recovery resolves the
+// two into a single idempotent page set: committed images are redone
+// (last write wins), uncommitted flushes are undone by restoring their
+// before-images — unless a committed image for the same page already won.
+//
+// Group commit: WaitDurable elects the first waiter as leader; it performs
+// one Sync covering the log tail, and every statement whose end record
+// fell at or before that tail returns without syncing again.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"strings"
+	"sync"
+	"time"
+
+	"tdbms/internal/page"
+	"tdbms/internal/storage"
+)
+
+// Record types.
+const (
+	recImage = 1 // page image: flags, relation, page ID, [before], after
+	recEnd   = 2 // transaction end: opaque commit metadata
+)
+
+const (
+	frameHeader = 8 // length + CRC
+	// maxPayload bounds a structurally plausible record; a larger length
+	// field can only be a torn or corrupt frame.
+	maxPayload = 4 * page.Size
+	// minPayload is the smallest well-formed payload: type byte + txn.
+	minPayload = 9
+)
+
+// Record is one decoded log record.
+type Record struct {
+	LSN    int64
+	Type   byte
+	Txn    uint64
+	Rel    string     // image records: relation file the page belongs to
+	Page   page.ID    // image records: page within that file
+	Before *page.Page // image records: pre-write disk content, if captured
+	After  *page.Page // image records: the logged content
+	Meta   []byte     // end records: opaque commit metadata
+}
+
+// Manager serializes appends to one log file and tracks the logical tail.
+// The tail only advances when an append fully succeeds, so a failed or
+// torn append is overwritten by the next one. Lock order: syncMu (the
+// group-commit leader latch) is acquired before mu; mu is the innermost
+// latch and is held across no I/O other than the positioned log write.
+type Manager struct {
+	mu         sync.Mutex
+	log        storage.Log
+	tail       int64 // next append offset; all bytes below are well-formed
+	synced     int64 // all bytes below are on stable storage
+	nextTxn    uint64
+	txns       map[string]uint64 // relation -> transaction of the running statement
+	all        uint64            // DDL transaction covering every relation, or 0
+	recovering bool              // replay in progress: LoggedFile passes writes through
+
+	syncMu sync.Mutex    // group-commit leader latch
+	window time.Duration // leader's gathering delay before the shared sync
+}
+
+// NewManager returns a manager over the given log. The caller must either
+// replay or Reset the log before the first append.
+func NewManager(l storage.Log) *Manager {
+	return &Manager{log: l, txns: map[string]uint64{}}
+}
+
+// Begin assigns a fresh transaction to the named relations for the
+// duration of one statement; page flushes against them are logged under
+// it until Finish.
+func (m *Manager) Begin(rels ...string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextTxn++
+	for _, r := range rels {
+		m.txns[strings.ToLower(r)] = m.nextTxn
+	}
+	return m.nextTxn
+}
+
+// BeginAll assigns a fresh transaction to every relation — the DDL path,
+// which holds the database exclusively.
+func (m *Manager) BeginAll() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextTxn++
+	m.all = m.nextTxn
+	return m.nextTxn
+}
+
+// Finish withdraws a transaction's relation assignments.
+func (m *Manager) Finish(txn uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.all == txn {
+		m.all = 0
+	}
+	for r, t := range m.txns {
+		if t == txn {
+			delete(m.txns, r)
+		}
+	}
+}
+
+// TxnFor reports the transaction currently writing the named relation, or
+// 0 — the background pseudo-transaction, whose records replay treats as
+// committed (checkpoints and invalidation flush only complete statements).
+func (m *Manager) TxnFor(rel string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.all != 0 {
+		return m.all
+	}
+	return m.txns[strings.ToLower(rel)]
+}
+
+// SetRecovering flips replay mode: while set, LoggedFile writes pass
+// through unlogged (replay must not re-log what it redoes).
+func (m *Manager) SetRecovering(on bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.recovering = on
+}
+
+// Recovering reports whether replay is in progress.
+func (m *Manager) Recovering() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.recovering
+}
+
+// SetWindow sets the group-commit gathering delay: how long an elected
+// leader waits before issuing the shared sync, letting concurrent
+// committers land their end records under the same barrier. Zero (the
+// default) syncs immediately.
+func (m *Manager) SetWindow(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.window = d
+}
+
+// Tail reports the logical end of the log.
+func (m *Manager) Tail() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tail
+}
+
+// LogSize reports the physical size of the underlying log file — what a
+// cold open has to scan, as opposed to Tail, which tracks appends made
+// through this manager.
+func (m *Manager) LogSize() (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.log.Size()
+}
+
+// AppendImage logs a page image. The record's LSN tag is stamped into the
+// after-image in place — the caller's copy and the logged bytes stay
+// identical. A nil before marks a commit-capture record (the dirty frame
+// of a statement about to commit); flush records carry the pre-write disk
+// content so an uncommitted flush can be undone.
+func (m *Manager) AppendImage(txn uint64, rel string, id page.ID, before, after *page.Page) (int64, error) {
+	if len(rel) > 1<<15 {
+		return 0, fmt.Errorf("wal: relation name %q too long", rel[:32]+"...")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	after.SetLSNTag(uint16(m.tail))
+	n := 9 + 1 + 2 + len(rel) + 4 + page.Size
+	if before != nil {
+		n += page.Size
+	}
+	payload := make([]byte, 0, n)
+	payload = append(payload, recImage)
+	payload = binary.LittleEndian.AppendUint64(payload, txn)
+	var flags byte
+	if before != nil {
+		flags |= 1
+	}
+	payload = append(payload, flags)
+	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(rel)))
+	payload = append(payload, rel...)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(int32(id)))
+	if before != nil {
+		payload = append(payload, before[:]...)
+	}
+	payload = append(payload, after[:]...)
+	return m.appendLocked(payload)
+}
+
+// AppendEnd logs a transaction-end record and returns the new tail — the
+// offset the committer must see synced for the statement to be durable.
+func (m *Manager) AppendEnd(txn uint64, meta []byte) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	payload := make([]byte, 0, minPayload+len(meta))
+	payload = append(payload, recEnd)
+	payload = binary.LittleEndian.AppendUint64(payload, txn)
+	payload = append(payload, meta...)
+	if _, err := m.appendLocked(payload); err != nil {
+		return 0, err
+	}
+	return m.tail, nil
+}
+
+// appendLocked frames and writes one payload at the tail. m.mu held.
+func (m *Manager) appendLocked(payload []byte) (int64, error) {
+	lsn := m.tail
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeader:], payload)
+	if _, err := m.log.WriteAt(frame, lsn); err != nil {
+		return 0, fmt.Errorf("wal: append at %d: %w", lsn, err)
+	}
+	m.tail = lsn + int64(len(frame))
+	return lsn, nil
+}
+
+// Sync forces the log to stable storage — the checkpoint path, which runs
+// with the database held exclusively, so no append races the barrier.
+func (m *Manager) Sync() error {
+	m.mu.Lock()
+	tail := m.tail
+	m.mu.Unlock()
+	if err := m.log.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	m.mu.Lock()
+	if tail > m.synced {
+		m.synced = tail
+	}
+	m.mu.Unlock()
+	return nil
+}
+
+// WaitDurable blocks until the log through lsn is on stable storage,
+// batching concurrent waiters into one sync: the first waiter through
+// syncMu is the leader and syncs the whole tail; followers that blocked on
+// the latch find their lsn already covered and return without syncing.
+func (m *Manager) WaitDurable(lsn int64) error {
+	m.mu.Lock()
+	covered := m.synced >= lsn
+	m.mu.Unlock()
+	if covered {
+		return nil
+	}
+	m.syncMu.Lock()
+	defer m.syncMu.Unlock()
+	m.mu.Lock()
+	covered = m.synced >= lsn
+	window := m.window
+	m.mu.Unlock()
+	if covered {
+		return nil
+	}
+	if window > 0 {
+		time.Sleep(window)
+	}
+	m.mu.Lock()
+	tail := m.tail
+	m.mu.Unlock()
+	if err := m.log.Sync(); err != nil {
+		return fmt.Errorf("wal: group commit sync: %w", err)
+	}
+	m.mu.Lock()
+	if tail > m.synced {
+		m.synced = tail
+	}
+	m.mu.Unlock()
+	return nil
+}
+
+// Reset discards the log: after a checkpoint that flushed every logged
+// page, or after recovery has applied it, nothing in it is needed again.
+func (m *Manager) Reset() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.log.Truncate(0); err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	m.tail, m.synced = 0, 0
+	return nil
+}
+
+// Close releases the log file.
+func (m *Manager) Close() error { return m.log.Close() }
+
+// Scan parses records from byte offset from to the end of the log,
+// calling fn for each well-formed record in LSN order. It returns the
+// offset of the first byte past the last well-formed record — the valid
+// tail. A torn or corrupt frame ends the scan without error: it and
+// everything past it are the discarded tail of a crashed append.
+func (m *Manager) Scan(from int64, fn func(*Record) error) (int64, error) {
+	size, err := m.log.Size()
+	if err != nil {
+		return from, err
+	}
+	if from >= size {
+		return from, nil
+	}
+	buf := make([]byte, size-from)
+	if _, err := m.log.ReadAt(buf, from); err != nil {
+		return from, fmt.Errorf("wal: scan at %d: %w", from, err)
+	}
+	off := 0
+	for off+frameHeader <= len(buf) {
+		n := int(binary.LittleEndian.Uint32(buf[off:]))
+		sum := binary.LittleEndian.Uint32(buf[off+4:])
+		if n < minPayload || n > maxPayload || off+frameHeader+n > len(buf) {
+			break
+		}
+		payload := buf[off+frameHeader : off+frameHeader+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		rec, ok := decode(payload)
+		if !ok {
+			break
+		}
+		rec.LSN = from + int64(off)
+		if err := fn(rec); err != nil {
+			return from + int64(off), err
+		}
+		off += frameHeader + n
+	}
+	return from + int64(off), nil
+}
+
+// decode parses one payload into a Record. A structurally impossible
+// payload reports !ok and is treated as part of the torn tail.
+func decode(payload []byte) (*Record, bool) {
+	r := &Record{Type: payload[0], Txn: binary.LittleEndian.Uint64(payload[1:])}
+	body := payload[minPayload:]
+	switch r.Type {
+	case recEnd:
+		r.Meta = body
+		return r, true
+	case recImage:
+		if len(body) < 1+2 {
+			return nil, false
+		}
+		flags := body[0]
+		nameLen := int(binary.LittleEndian.Uint16(body[1:]))
+		body = body[3:]
+		if len(body) < nameLen+4 {
+			return nil, false
+		}
+		r.Rel = string(body[:nameLen])
+		r.Page = page.ID(int32(binary.LittleEndian.Uint32(body[nameLen:])))
+		body = body[nameLen+4:]
+		if flags&1 != 0 {
+			if len(body) != 2*page.Size {
+				return nil, false
+			}
+			r.Before = new(page.Page)
+			copy(r.Before[:], body[:page.Size])
+			body = body[page.Size:]
+		} else if len(body) != page.Size {
+			return nil, false
+		}
+		r.After = new(page.Page)
+		copy(r.After[:], body)
+		return r, true
+	default:
+		return nil, false
+	}
+}
+
+// PageKey names one page of one relation file across the log.
+type PageKey struct {
+	Rel string
+	ID  page.ID
+}
+
+// Recovery is the resolved outcome of replaying a log suffix: the final
+// image each touched page must hold, the commit metadata of every
+// committed transaction in order, and where the valid log ends.
+type Recovery struct {
+	Pages   map[PageKey]*page.Page
+	Order   []PageKey // first-touch order, for deterministic application
+	Ends    [][]byte  // committed end payloads in LSN order
+	Valid   int64     // offset of the first torn/absent byte
+	Records int       // well-formed records scanned
+}
+
+// Resolve scans the log from the given offset and folds it into the page
+// set recovery must write. Committed images (including the background
+// pseudo-transaction 0) are redone in LSN order, last write winning.
+// An uncommitted flush contributes its before-image — the committed disk
+// content it overwrote — but only if no record resolved the page yet:
+// a committed image for the same page always wins, and a second
+// uncommitted flush of the page must not clobber the first flush's
+// before-image with its own (which captured uncommitted content).
+// Applying the result is idempotent: it depends only on log content,
+// never on the current state of the data files.
+func (m *Manager) Resolve(from int64) (*Recovery, error) {
+	var recs []*Record
+	committed := map[uint64]bool{0: true}
+	valid, err := m.Scan(from, func(r *Record) error {
+		recs = append(recs, r)
+		if r.Type == recEnd {
+			committed[r.Txn] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rec := &Recovery{Pages: map[PageKey]*page.Page{}, Valid: valid, Records: len(recs)}
+	for _, r := range recs {
+		switch r.Type {
+		case recEnd:
+			rec.Ends = append(rec.Ends, r.Meta)
+		case recImage:
+			k := PageKey{r.Rel, r.Page}
+			switch {
+			case committed[r.Txn]:
+				if _, seen := rec.Pages[k]; !seen {
+					rec.Order = append(rec.Order, k)
+				}
+				rec.Pages[k] = r.After
+			case r.Before != nil:
+				if _, seen := rec.Pages[k]; !seen {
+					rec.Order = append(rec.Order, k)
+					rec.Pages[k] = r.Before
+				}
+			}
+		}
+	}
+	return rec, nil
+}

@@ -1,0 +1,504 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tdbms/internal/page"
+	"tdbms/internal/storage"
+)
+
+// testPage builds a deterministic page whose payload bytes derive from the
+// seed, so replay results can be compared byte-for-byte.
+func testPage(seed byte) *page.Page {
+	var p page.Page
+	p.Format(16, 0)
+	for i := page.HeaderSize; i < page.Size; i++ {
+		p[i] = seed + byte(i%31)
+	}
+	return &p
+}
+
+// buildLog appends a small deterministic schedule and returns the manager,
+// its memory log, and the LSN of every record (in order):
+//
+//	txn1: image h/0, image h/1, end        (committed)
+//	txn2: image i/0 with before-image      (uncommitted flush)
+//	txn0: image i/1                        (background, always committed)
+func buildLog(t *testing.T) (*Manager, *storage.MemLog, []int64) {
+	t.Helper()
+	l := storage.NewMemLog()
+	m := NewManager(l)
+	var lsns []int64
+	t1 := m.Begin("h")
+	for id := 0; id < 2; id++ {
+		lsn, err := m.AppendImage(t1, "h", page.ID(id), nil, testPage(byte(10+id)))
+		if err != nil {
+			t.Fatalf("append image: %v", err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	pre := m.Tail()
+	if _, err := m.AppendEnd(t1, []byte(`{"now":42}`)); err != nil {
+		t.Fatalf("append end: %v", err)
+	}
+	m.Finish(t1)
+	lsns = append(lsns, pre)
+	t2 := m.Begin("i")
+	pre = m.Tail()
+	if _, err := m.AppendImage(t2, "i", 0, testPage(77), testPage(99)); err != nil {
+		t.Fatalf("append flush image: %v", err)
+	}
+	m.Finish(t2) // no end record: txn2 stays uncommitted
+	lsns = append(lsns, pre)
+	pre = m.Tail()
+	if _, err := m.AppendImage(0, "i", 1, nil, testPage(55)); err != nil {
+		t.Fatalf("append background image: %v", err)
+	}
+	lsns = append(lsns, pre)
+	return m, l, lsns
+}
+
+func TestScanRoundtrip(t *testing.T) {
+	m, _, lsns := buildLog(t)
+	var got []*Record
+	valid, err := m.Scan(0, func(r *Record) error { got = append(got, r); return nil })
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if valid != m.Tail() {
+		t.Fatalf("valid tail %d, want %d", valid, m.Tail())
+	}
+	if len(got) != 5 {
+		t.Fatalf("scanned %d records, want 5", len(got))
+	}
+	for i, r := range got {
+		if r.LSN != lsns[i] {
+			t.Errorf("record %d: LSN %d, want %d", i, r.LSN, lsns[i])
+		}
+	}
+	if got[0].Type != recImage || got[0].Rel != "h" || got[0].Page != 0 || got[0].Before != nil {
+		t.Errorf("record 0 malformed: %+v", got[0])
+	}
+	if got[0].After.LSNTag() != uint16(lsns[0]) {
+		t.Errorf("record 0: LSN tag %d, want %d", got[0].After.LSNTag(), uint16(lsns[0]))
+	}
+	if got[2].Type != recEnd || string(got[2].Meta) != `{"now":42}` {
+		t.Errorf("record 2 malformed: %+v", got[2])
+	}
+	if got[3].Before == nil || got[3].Before.LSNTag() == got[3].After.LSNTag() {
+		t.Errorf("record 3 must carry a distinct before-image")
+	}
+	if got[4].Txn != 0 {
+		t.Errorf("record 4: txn %d, want background 0", got[4].Txn)
+	}
+}
+
+// TestTornTailEveryBoundary truncates the log at every byte offset and
+// asserts the torn-tail contract: Scan never errors, never yields a record
+// that extends past the truncation point, and yields exactly the records
+// wholly contained in the surviving prefix.
+func TestTornTailEveryBoundary(t *testing.T) {
+	m, l, lsns := buildLog(t)
+	size := m.Tail()
+	whole := make([]byte, size)
+	if _, err := l.ReadAt(whole, 0); err != nil {
+		t.Fatalf("read log: %v", err)
+	}
+	bounds := append(append([]int64{}, lsns...), size)
+	for cut := int64(0); cut <= size; cut++ {
+		tl := storage.NewMemLog()
+		if cut > 0 {
+			if _, err := tl.WriteAt(whole[:cut], 0); err != nil {
+				t.Fatalf("cut %d: seed: %v", cut, err)
+			}
+		}
+		tm := NewManager(tl)
+		var n int
+		valid, err := tm.Scan(0, func(r *Record) error { n++; return nil })
+		if err != nil {
+			t.Fatalf("cut %d: scan: %v", cut, err)
+		}
+		want := 0
+		var wantValid int64
+		for i := 0; i+1 < len(bounds); i++ {
+			if bounds[i+1] <= cut {
+				want = i + 1
+				wantValid = bounds[i+1]
+			}
+		}
+		if n != want || valid != wantValid {
+			t.Fatalf("cut %d: %d records valid to %d, want %d records valid to %d",
+				cut, n, valid, want, wantValid)
+		}
+	}
+}
+
+// TestTornTailCorruption flips a byte inside the middle record and asserts
+// the scan stops just before it — CRC, not length, catches in-place damage.
+func TestTornTailCorruption(t *testing.T) {
+	m, l, lsns := buildLog(t)
+	mid := lsns[2] // the end record
+	var b [1]byte
+	if _, err := l.ReadAt(b[:], mid+frameHeader); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	b[0] ^= 0xff
+	if _, err := l.WriteAt(b[:], mid+frameHeader); err != nil {
+		t.Fatalf("corrupt: %v", err)
+	}
+	var n int
+	valid, err := m.Scan(0, func(r *Record) error { n++; return nil })
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if n != 2 || valid != mid {
+		t.Fatalf("scanned %d records valid to %d, want 2 records valid to %d", n, valid, mid)
+	}
+}
+
+func TestResolveRules(t *testing.T) {
+	m, _, _ := buildLog(t)
+	rec, err := m.Resolve(0)
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	if rec.Records != 5 || len(rec.Ends) != 1 {
+		t.Fatalf("records %d ends %d, want 5 and 1", rec.Records, len(rec.Ends))
+	}
+	// Committed images redo: h/0 and h/1 carry the logged after-images.
+	for id := 0; id < 2; id++ {
+		k := PageKey{"h", page.ID(id)}
+		want := testPage(byte(10 + id))
+		want.SetLSNTag(rec.Pages[k].LSNTag()) // tag was stamped at append
+		if rec.Pages[k] == nil || !bytes.Equal(rec.Pages[k][page.HeaderSize:], want[page.HeaderSize:]) {
+			t.Errorf("h/%d: wrong resolved image", id)
+		}
+	}
+	// Uncommitted flush undone: i/0 resolves to its before-image.
+	before := testPage(77)
+	got := rec.Pages[PageKey{"i", 0}]
+	if got == nil || !bytes.Equal(got[page.HeaderSize:], before[page.HeaderSize:]) {
+		t.Errorf("i/0: must resolve to the before-image of the uncommitted flush")
+	}
+	// Background write redone.
+	if rec.Pages[PageKey{"i", 1}] == nil {
+		t.Errorf("i/1: background image must be redone")
+	}
+	if len(rec.Order) != 4 {
+		t.Errorf("order has %d keys, want 4", len(rec.Order))
+	}
+}
+
+// TestResolveCommittedBeatsUncommitted covers both orders of the race
+// between a committed image and an uncommitted flush of the same page.
+func TestResolveCommittedBeatsUncommitted(t *testing.T) {
+	// Order 1: committed image first, uncommitted flush after. The flush's
+	// before-image (stale disk content) must not clobber the commit.
+	l := storage.NewMemLog()
+	m := NewManager(l)
+	if _, err := m.AppendImage(1, "r", 0, nil, testPage(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AppendEnd(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AppendImage(2, "r", 0, testPage(9), testPage(2)); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := m.Resolve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testPage(1)
+	got := rec.Pages[PageKey{"r", 0}]
+	if !bytes.Equal(got[page.HeaderSize:], want[page.HeaderSize:]) {
+		t.Errorf("order 1: committed image lost to a later uncommitted flush")
+	}
+
+	// Order 2: uncommitted flush first, then a committed image. The commit
+	// must overwrite the before-image.
+	l = storage.NewMemLog()
+	m = NewManager(l)
+	if _, err := m.AppendImage(1, "r", 0, testPage(9), testPage(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AppendImage(2, "r", 0, nil, testPage(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AppendEnd(2, nil); err != nil {
+		t.Fatal(err)
+	}
+	rec, err = m.Resolve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = testPage(3)
+	got = rec.Pages[PageKey{"r", 0}]
+	if !bytes.Equal(got[page.HeaderSize:], want[page.HeaderSize:]) {
+		t.Errorf("order 2: committed image must overwrite the flush's before-image")
+	}
+
+	// A second uncommitted flush must not replace the first flush's
+	// before-image (the second's "before" is uncommitted content).
+	l = storage.NewMemLog()
+	m = NewManager(l)
+	if _, err := m.AppendImage(1, "r", 0, testPage(9), testPage(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AppendImage(1, "r", 0, testPage(2), testPage(4)); err != nil {
+		t.Fatal(err)
+	}
+	rec, err = m.Resolve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = testPage(9)
+	got = rec.Pages[PageKey{"r", 0}]
+	if !bytes.Equal(got[page.HeaderSize:], want[page.HeaderSize:]) {
+		t.Errorf("double flush: the first before-image (committed disk content) must win")
+	}
+}
+
+// applyTo writes a Recovery onto a fresh memory file set and returns the
+// raw bytes per relation — the observable outcome of a replay.
+func applyTo(t *testing.T, rec *Recovery) map[string][]byte {
+	t.Helper()
+	files := map[string]storage.File{}
+	for _, k := range rec.Order {
+		f, ok := files[k.Rel]
+		if !ok {
+			f = storage.NewMem()
+			files[k.Rel] = f
+		}
+		for f.NumPages() <= int(k.ID) {
+			if _, err := f.Allocate(); err != nil {
+				t.Fatalf("allocate: %v", err)
+			}
+		}
+		if err := f.WritePage(k.ID, rec.Pages[k]); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	out := map[string][]byte{}
+	for rel, f := range files {
+		var all []byte
+		for id := 0; id < f.NumPages(); id++ {
+			var p page.Page
+			if err := f.ReadPage(page.ID(id), &p); err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			all = append(all, p[:]...)
+		}
+		out[rel] = all
+	}
+	return out
+}
+
+// TestReplayIdempotence replays the same log twice, and replays it resumed
+// from a crash after every record, asserting byte-identical final pages:
+// recovery must depend only on log content, never on current file state.
+func TestReplayIdempotence(t *testing.T) {
+	m, _, lsns := buildLog(t)
+	rec, err := m.Resolve(0)
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	first := applyTo(t, rec)
+	rec2, err := m.Resolve(0)
+	if err != nil {
+		t.Fatalf("re-resolve: %v", err)
+	}
+	second := applyTo(t, rec2)
+	for rel, b := range first {
+		if !bytes.Equal(b, second[rel]) {
+			t.Errorf("%s: double replay diverged", rel)
+		}
+	}
+	// Crash-resume: apply only a prefix of the plan (a recovery that died
+	// after k writes), then run a full replay over the half-written files;
+	// the outcome must equal a clean replay because committed images
+	// overwrite unconditionally and before-images restore fixed content.
+	for k := 0; k <= len(rec.Order); k++ {
+		partial := &Recovery{Pages: rec.Pages, Order: rec.Order[:k]}
+		files := map[string]storage.File{}
+		seed := applyTo(t, partial)
+		for rel, b := range seed {
+			f := storage.NewMem()
+			for off := 0; off < len(b); off += page.Size {
+				if _, err := f.Allocate(); err != nil {
+					t.Fatal(err)
+				}
+				var p page.Page
+				copy(p[:], b[off:off+page.Size])
+				if err := f.WritePage(page.ID(off/page.Size), &p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			files[rel] = f
+		}
+		// Full replay over the partially recovered files.
+		for _, key := range rec.Order {
+			f, ok := files[key.Rel]
+			if !ok {
+				f = storage.NewMem()
+				files[key.Rel] = f
+			}
+			for f.NumPages() <= int(key.ID) {
+				if _, err := f.Allocate(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := f.WritePage(key.ID, rec.Pages[key]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for rel, want := range first {
+			f := files[rel]
+			var all []byte
+			for id := 0; id < f.NumPages(); id++ {
+				var p page.Page
+				if err := f.ReadPage(page.ID(id), &p); err != nil {
+					t.Fatal(err)
+				}
+				all = append(all, p[:]...)
+			}
+			if !bytes.Equal(all, want) {
+				t.Errorf("resume after %d writes: %s diverged from clean replay", k, rel)
+			}
+		}
+	}
+	_ = lsns
+}
+
+// TestGoldenTornTail replays the checked-in fixture — a log with two
+// committed records and a record torn mid-page — and asserts the exact
+// valid offset, record count, and resolved pages. The fixture pins the
+// on-disk format: if framing, the CRC, or the payload layout change, this
+// fails before any cross-version incompatibility can ship silently.
+func TestGoldenTornTail(t *testing.T) {
+	fixture := filepath.Join("testdata", "torn_tail.wal")
+	if os.Getenv("WAL_WRITE_GOLDEN") != "" {
+		writeGoldenTornTail(t, fixture)
+	}
+	data, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatalf("fixture: %v (regenerate with WAL_WRITE_GOLDEN=1)", err)
+	}
+	l := storage.NewMemLog()
+	if _, err := l.WriteAt(data, 0); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	m := NewManager(l)
+	rec, err := m.Resolve(0)
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	if rec.Records != 3 {
+		t.Errorf("records %d, want 3 (image, image, end; torn 4th discarded)", rec.Records)
+	}
+	const wantValid = 2127 // two image frames (8+1046 each) + end frame (8+11)
+	if rec.Valid != wantValid {
+		t.Errorf("valid %d, want %d", rec.Valid, wantValid)
+	}
+	if len(rec.Ends) != 1 || string(rec.Ends[0]) != "{}" {
+		t.Errorf("ends %q, want one {} record", rec.Ends)
+	}
+	for id := 0; id < 2; id++ {
+		k := PageKey{"golden", page.ID(id)}
+		img := rec.Pages[k]
+		if img == nil {
+			t.Fatalf("golden/%d missing from resolution", id)
+		}
+		want := testPage(byte(100 + id))
+		if !bytes.Equal(img[page.HeaderSize:], want[page.HeaderSize:]) {
+			t.Errorf("golden/%d: resolved image diverges from fixture expectation", id)
+		}
+	}
+}
+
+// writeGoldenTornTail regenerates the fixture: two committed image records
+// and an end record for txn 1, then a fourth record torn 300 bytes into
+// its frame — a crash mid-append.
+func writeGoldenTornTail(t *testing.T, path string) {
+	t.Helper()
+	l := storage.NewMemLog()
+	m := NewManager(l)
+	for id := 0; id < 2; id++ {
+		if _, err := m.AppendImage(1, "golden", page.ID(id), nil, testPage(byte(100+id))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.AppendEnd(1, []byte("{}")); err != nil {
+		t.Fatal(err)
+	}
+	cut := m.Tail()
+	if _, err := m.AppendImage(2, "golden", 2, nil, testPage(103)); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, cut+300)
+	if _, err := l.ReadAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupCommitLeader exercises WaitDurable's leader election directly:
+// many goroutines commit and wait concurrently against a sync-counting
+// log; every waiter must return with its record durable, with far fewer
+// syncs than commits.
+func TestGroupCommitLeader(t *testing.T) {
+	l := &countingLog{Log: storage.NewMemLog()}
+	m := NewManager(l)
+	m.SetWindow(2 * time.Millisecond)
+	const n = 24
+	errs := make(chan error, n)
+	for g := 0; g < n; g++ {
+		go func(g int) {
+			txn := m.Begin("r")
+			defer m.Finish(txn)
+			if _, err := m.AppendImage(txn, "r", page.ID(g), nil, testPage(byte(g))); err != nil {
+				errs <- err
+				return
+			}
+			end, err := m.AppendEnd(txn, nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			errs <- m.WaitDurable(end)
+		}(g)
+	}
+	for g := 0; g < n; g++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("commit %d: %v", g, err)
+		}
+	}
+	syncs := l.syncs.Load()
+	if syncs == 0 {
+		t.Fatalf("no syncs at all")
+	}
+	if syncs >= n {
+		t.Errorf("%d syncs for %d commits: group commit is not batching", syncs, n)
+	}
+	t.Logf("%d commits, %d syncs", n, syncs)
+}
+
+type countingLog struct {
+	storage.Log
+	syncs atomic.Int64
+}
+
+func (c *countingLog) Sync() error {
+	c.syncs.Add(1)
+	return c.Log.Sync()
+}
